@@ -1,0 +1,40 @@
+# recordroute — build/test/reproduce targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench study fuzz examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Reproduce every table and figure at full default scale (~30 s).
+study:
+	$(GO) run ./cmd/rrstudy
+
+# Short fuzzing passes over the packet decoders.
+fuzz:
+	$(GO) test ./internal/packet -fuzz FuzzParsedDecode -fuzztime 30s
+	$(GO) test ./internal/packet -fuzz FuzzRecordRouteDecode -fuzztime 15s
+	$(GO) test ./internal/packet -fuzz FuzzTimestampDecode -fuzztime 15s
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/cloudprovider
+	$(GO) run ./examples/ttltuning
+	$(GO) run ./examples/reversepath
+	$(GO) run ./examples/atlas
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,289 @@
+package recordroute
+
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation, plus ablations for the design choices DESIGN.md calls out.
+// Benchmarks measure the cost of regenerating each result at test scale;
+// their reported custom metrics carry the reproduced headline numbers so
+// `go test -bench` output doubles as a results table.
+
+import (
+	"io"
+	"net/netip"
+	"testing"
+
+	"recordroute/internal/analysis"
+	"recordroute/internal/packet"
+	"recordroute/internal/probe"
+	"recordroute/internal/study"
+	"recordroute/internal/topology"
+)
+
+// benchScale keeps benchmark topologies small enough to iterate.
+const benchScale = 0.2
+
+func benchInternet(b *testing.B) *Internet {
+	b.Helper()
+	in, err := New(WithScale(benchScale), WithProbeRate(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkTable1ResponseRates regenerates Table 1: ping and ping-RR
+// response rates by IP and AS type.
+func BenchmarkTable1ResponseRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := benchInternet(b)
+		sum := in.Table1(io.Discard)
+		b.ReportMetric(sum.RRRatioByIP, "rr/ping-byIP")
+		b.ReportMetric(sum.RRRatioByAS, "rr/ping-byAS")
+	}
+}
+
+// BenchmarkFigure1ClosestVPCDF regenerates Figure 1 and the §3.3
+// headline reachability numbers (including alias and ping-RRudp
+// recovery).
+func BenchmarkFigure1ClosestVPCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := benchInternet(b)
+		sum := in.Figure1Reachability(io.Discard)
+		b.ReportMetric(sum.ReachableFrac, "reachable-frac")
+		b.ReportMetric(sum.Within8Frac, "within8-frac")
+	}
+}
+
+// BenchmarkReachabilityRecovery isolates the §3.3 reclassification
+// passes (alias resolution plus ping-RRudp) on top of a shared
+// responsiveness run.
+func BenchmarkReachabilityRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := benchInternet(b)
+		in.Table1(nil) // populate the cache outside the interesting part
+		sum := in.Figure1Reachability(nil)
+		b.ReportMetric(float64(sum.AliasReclassified), "alias-reclass")
+		b.ReportMetric(float64(sum.RRUDPReclassified), "rrudp-reclass")
+	}
+}
+
+// BenchmarkVPResponseDistribution regenerates the §3.2 distribution.
+func BenchmarkVPResponseDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := benchInternet(b)
+		d := in.VPResponseDistribution()
+		b.ReportMetric(d.AboveTwoThirds, "above-2/3-frac")
+	}
+}
+
+// BenchmarkFigure2Epochs regenerates the 2011-vs-2016 comparison (two
+// full Internets, two full measurement campaigns).
+func BenchmarkFigure2Epochs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := benchInternet(b)
+		sum, err := in.Figure2Epochs(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.Reachable2016, "reachable-2016")
+		b.ReportMetric(sum.Reachable2011, "reachable-2011")
+	}
+}
+
+// BenchmarkStampAudit regenerates the §3.5 traceroute/RR AS audit.
+func BenchmarkStampAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := benchInternet(b)
+		sum := in.StampAudit(io.Discard, 50)
+		b.ReportMetric(float64(sum.Always), "always-stamp")
+		b.ReportMetric(float64(sum.Never), "never-stamp")
+	}
+}
+
+// BenchmarkFigure3CloudDistance regenerates the cloud hop-distance
+// comparison.
+func BenchmarkFigure3CloudDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := benchInternet(b)
+		sum := in.Figure3Clouds(io.Discard, 150)
+		for _, f := range sum.Within8 {
+			b.ReportMetric(f, "cloud-within8-frac")
+			break
+		}
+	}
+}
+
+// BenchmarkFigure4RateLimiting regenerates the per-VP 10-vs-100pps
+// response counts.
+func BenchmarkFigure4RateLimiting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := benchInternet(b)
+		sum := in.Figure4RateLimit(io.Discard, 300)
+		b.ReportMetric(float64(len(sum.DrasticDrop)), "drastic-drop-vps")
+	}
+}
+
+// BenchmarkFigure5TTLTradeoff regenerates the TTL sweep.
+func BenchmarkFigure5TTLTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := benchInternet(b)
+		sum := in.Figure5TTL(io.Discard, 100)
+		b.ReportMetric(sum.ReachableRate[10], "reach-rate@ttl10")
+		b.ReportMetric(sum.UnreachableRate[10], "unreach-rate@ttl10")
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationDecode compares the reusable zero-allocation decoder
+// (the gopacket DecodingLayer idiom) against allocating fresh layer
+// structs per packet.
+func BenchmarkAblationDecode(b *testing.B) {
+	rr := packet.NewRecordRoute(9)
+	for i := 0; i < 4; i++ {
+		rr.Record(addrFor(i))
+	}
+	hdr := packet.IPv4{TTL: 32, Protocol: packet.ProtocolICMP, Src: addrFor(100), Dst: addrFor(200)}
+	if err := hdr.SetRecordRoute(rr); err != nil {
+		b.Fatal(err)
+	}
+	wire, err := hdr.Marshal(packet.NewEchoRequest(7, 9, []byte("payload")).Marshal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("reused", func(b *testing.B) {
+		var p packet.Parsed
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := p.Decode(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var p packet.Parsed
+			if err := p.Decode(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationProbeOrder compares randomized against sequential
+// destination order under destination-proximate rate limiting: random
+// order spreads options load over limiters, the motivation for §4.1's
+// methodology.
+func BenchmarkAblationProbeOrder(b *testing.B) {
+	run := func(b *testing.B, shuffle bool) {
+		responses := 0.0
+		for i := 0; i < b.N; i++ {
+			cfg := topology.DefaultConfig(topology.Epoch2016).Scale(benchScale)
+			cfg.EdgeRateLimitRate = 0.5 // make limiters common for contrast
+			cfg.EdgeRateLimitPPS = 15
+			s, err := study.New(cfg, study.Options{Rate: 100})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := probe.Options{Rate: 100}
+			var perVP map[string][]probe.Result
+			if shuffle {
+				perVP = s.Camp.PingRRAll(s.Data.Addrs(), opts, s.Shuffler())
+			} else {
+				perVP = s.Camp.PingRRAll(s.Data.Addrs(), opts, nil)
+			}
+			got := 0
+			for _, rs := range perVP {
+				for _, r := range rs {
+					if r.Type == probe.EchoReply {
+						got++
+					}
+				}
+			}
+			responses += float64(got)
+		}
+		b.ReportMetric(responses/float64(b.N), "responses")
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, false) })
+	b.Run("shuffled", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationVPSelection compares greedy against first-k site
+// selection for Figure 1's subset coverage.
+func BenchmarkAblationVPSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := topology.DefaultConfig(topology.Epoch2016).Scale(benchScale)
+		s, err := study.New(cfg, study.Options{Rate: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := s.RunResponsiveness()
+		stats := r.Stats
+		cover := analysis.CoverageFromStats(stats, 9)
+		steps := analysis.GreedyCover(cover, 3)
+		if len(steps) > 0 {
+			b.ReportMetric(float64(steps[len(steps)-1].TotalCovered), "greedy3-cover")
+		}
+		// First-3 M-Lab sites by name, the naive alternative.
+		naive := make(map[netip.Addr]bool)
+		for i, vp := range []string{"mlab-0", "mlab-1", "mlab-2"} {
+			_ = i
+			for d := range cover[vp] {
+				naive[d] = true
+			}
+		}
+		b.ReportMetric(float64(len(naive)), "first3-cover")
+	}
+}
+
+// BenchmarkAblationFastPath compares full event-level packet simulation
+// of a ping-RR against the analytic path oracle (ForwardStampPath): the
+// oracle is far cheaper but cannot express behaviour (filtering,
+// policing, partial stamping) — which is why measurements run through
+// the simulator and the oracle serves as ground truth only.
+func BenchmarkAblationFastPath(b *testing.B) {
+	cfg := topology.DefaultConfig(topology.Epoch2016).Scale(benchScale)
+	s, err := study.New(cfg, study.Options{Rate: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vp := s.Topo.VPs[len(s.Topo.VPs)-1]
+	dst := s.Topo.Dests[0].Addr
+	b.Run("event-sim", func(b *testing.B) {
+		m := s.Camp.VP(vp.Name)
+		for i := 0; i < b.N; i++ {
+			done := false
+			m.Prober.StartOne(probe.Spec{Dst: dst, Kind: probe.PingRR}, 0, func(probe.Result) { done = true })
+			s.Camp.Eng.Run()
+			if !done {
+				b.Fatal("probe unresolved")
+			}
+		}
+	})
+	b.Run("oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if s.Topo.ForwardStampPath(vp.Addr, dst) == nil {
+				b.Fatal("no oracle path")
+			}
+		}
+	})
+}
+
+// BenchmarkSimulatorForwarding measures the raw packet-forwarding rate
+// of the discrete-event substrate (events per op via engine counters).
+func BenchmarkSimulatorForwarding(b *testing.B) {
+	in := benchInternet(b)
+	vp := in.MLabVPs()[len(in.MLabVPs())-1]
+	dst := in.Destinations()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.PingRR(vp, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// addrFor derives a distinct test address.
+func addrFor(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+}

@@ -1,0 +1,119 @@
+// Command rrarchive re-analyzes archived measurements without
+// re-probing: given a raw-results file (rrstudy -dump) and the dataset
+// files (topogen -out), it rebuilds Table 1 and the reachability
+// headlines — the workflow the paper's released datasets support.
+//
+// Usage:
+//
+//	rrarchive -results raw.txt -datasets DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"path/filepath"
+
+	"recordroute/internal/analysis"
+	"recordroute/internal/dataset"
+	"recordroute/internal/probe"
+	"recordroute/internal/results"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rrarchive: ")
+	var (
+		resultsPath = flag.String("results", "", "raw results file (rrstudy -dump)")
+		datasetDir  = flag.String("datasets", "", "directory with prefixes.txt, hitlist.txt, astypes.txt (topogen -out)")
+	)
+	flag.Parse()
+	if *resultsPath == "" || *datasetDir == "" {
+		log.Fatal("need both -results and -datasets")
+	}
+
+	perVP, err := readResults(*resultsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := readDatasets(*datasetDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := analysis.AggregateRR(perVP)
+	rrResp := make(map[netip.Addr]bool, len(stats))
+	reachable, responsive := 0, 0
+	for a, st := range stats {
+		if st.RRResponsive() {
+			rrResp[a] = true
+			responsive++
+			if st.RRReachable() {
+				reachable++
+			}
+		}
+	}
+
+	// The archive holds ping-RR outcomes only; approximate
+	// ping-responsiveness by "answered anything", the upper bound an
+	// RR-only archive supports.
+	pingResp := make(map[netip.Addr]bool)
+	for _, rs := range perVP {
+		for _, r := range rs {
+			if r.Type == probe.EchoReply {
+				pingResp[r.Dst] = true
+			}
+		}
+	}
+
+	table := analysis.BuildTable1(d.DestInfos(), pingResp, rrResp)
+	fmt.Printf("re-analysis of %s (%d VPs)\n\n", *resultsPath, len(perVP))
+	table.Render(os.Stdout)
+	fmt.Printf("\nRR-reachable fraction of RR-responsive: %.2f (%d of %d)\n",
+		frac(reachable, responsive), reachable, responsive)
+
+	cover := analysis.CoverageFromStats(stats, 9)
+	steps := analysis.GreedyCover(cover, 5)
+	fmt.Println("greedy site selection from the archive:")
+	for i, s := range steps {
+		fmt.Printf("  %d sites: %-12s covered %d\n", i+1, s.VP, s.TotalCovered)
+	}
+}
+
+func readResults(path string) (map[string][]probe.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return results.Read(f)
+}
+
+func readDatasets(dir string) (*dataset.Dataset, error) {
+	open := func(name string) (*os.File, error) { return os.Open(filepath.Join(dir, name)) }
+	pfx, err := open("prefixes.txt")
+	if err != nil {
+		return nil, err
+	}
+	defer pfx.Close()
+	hit, err := open("hitlist.txt")
+	if err != nil {
+		return nil, err
+	}
+	defer hit.Close()
+	ast, err := open("astypes.txt")
+	if err != nil {
+		return nil, err
+	}
+	defer ast.Close()
+	return dataset.Read(pfx, hit, ast)
+}
+
+func frac(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

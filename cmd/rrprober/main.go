@@ -1,0 +1,261 @@
+// Command rrprober issues individual Record Route measurements against
+// a simulated Internet: ping, ping-RR, ping-RRudp, TTL-limited ping-RR,
+// traceroute, and reverse-path measurements.
+//
+// Usage:
+//
+//	rrprober [-scale 0.3] [-seed N] -mode rr [-vp mlab-4] [-dst ADDR] [-ttl N] [-n 5]
+//
+// Modes: ping, rr, rrudp, ttlrr, ts, trace, reverse, list.
+// Without -dst, the first -n responsive destinations are probed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"os"
+
+	"recordroute"
+	"recordroute/internal/netsim"
+	"recordroute/internal/probe"
+	"recordroute/internal/rawnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rrprober: ")
+	var (
+		scale = flag.Float64("scale", 0.3, "topology scale factor")
+		seed  = flag.Uint64("seed", 0, "random seed")
+		mode  = flag.String("mode", "rr", "probe mode: ping|rr|rrudp|ttlrr|ts|trace|reverse|list")
+		vp    = flag.String("vp", "", "vantage point name (default: last M-Lab VP)")
+		dst   = flag.String("dst", "", "destination address (default: sweep)")
+		ttl   = flag.Uint("ttl", 10, "initial TTL for -mode ttlrr")
+		n     = flag.Int("n", 5, "destinations to sweep when -dst is unset")
+		raw   = flag.Bool("raw", false, "probe the real network via raw sockets (linux, CAP_NET_RAW) instead of the simulator")
+		src   = flag.String("src", "", "local source address for -raw")
+		pcap  = flag.String("pcap", "", "capture the vantage point's received packets to this pcap file (simulator modes)")
+	)
+	flag.Parse()
+
+	if *raw {
+		runRaw(*mode, *src, *dst, uint8(*ttl))
+		return
+	}
+
+	inet, err := recordroute.New(recordroute.WithScale(*scale), recordroute.WithSeed(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	vpName := *vp
+	if vpName == "" {
+		ml := inet.MLabVPs()
+		vpName = ml[len(ml)-1]
+	}
+
+	if *pcap != "" {
+		stop, err := attachPcap(inet, vpName, *pcap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+
+	if *mode == "list" {
+		fmt.Println("vantage points:")
+		for _, name := range inet.VPNames() {
+			kind, _ := inet.VPKind(name)
+			fmt.Printf("  %-12s %s\n", name, kind)
+		}
+		for _, name := range inet.CloudNames() {
+			fmt.Printf("  %-12s cloud\n", name)
+		}
+		fmt.Printf("%d destinations, e.g. %v\n", len(inet.Destinations()), inet.Destinations()[0])
+		return
+	}
+
+	var targets []netip.Addr
+	if *dst != "" {
+		a, err := netip.ParseAddr(*dst)
+		if err != nil {
+			log.Fatalf("bad -dst: %v", err)
+		}
+		targets = []netip.Addr{a}
+	} else {
+		targets = inet.Destinations()
+	}
+
+	probed := 0
+	for _, d := range targets {
+		if probed >= *n && *dst == "" {
+			break
+		}
+		responded, err := probeOne(inet, *mode, vpName, d, uint8(*ttl))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if responded || *dst != "" {
+			probed++
+		}
+	}
+}
+
+// probeOne issues one measurement, printing its outcome; it reports
+// whether anything responded (for sweep counting).
+func probeOne(inet *recordroute.Internet, mode, vp string, d netip.Addr, ttl uint8) (bool, error) {
+	switch mode {
+	case "ts":
+		tsr, err := inet.PingTS(vp, d)
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("ping-ts %s → %v: %s rtt=%v overflow=%d\n", vp, d, tsr.Kind, tsr.RTT, tsr.Overflow)
+		for i, e := range tsr.Entries {
+			fmt.Printf("  slot %d: %-16v @ %dms\n", i+1, e.Addr, e.Millis)
+		}
+		return tsr.Responded, nil
+	case "ping", "rr", "rrudp", "ttlrr":
+		var reply recordroute.Reply
+		var err error
+		switch mode {
+		case "ping":
+			reply, err = inet.Ping(vp, d)
+		case "rr":
+			reply, err = inet.PingRR(vp, d)
+		case "rrudp":
+			reply, err = inet.PingRRUDP(vp, d)
+		case "ttlrr":
+			reply, err = inet.PingRRWithTTL(vp, d, ttl)
+		}
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("%s %s → %v: %s rtt=%v\n", mode, vp, d, reply.Kind, reply.RTT)
+		for i, hop := range reply.RecordedRoute {
+			marker := ""
+			if hop == d {
+				marker = " ← destination"
+			}
+			fmt.Printf("  slot %d: %-16v AS%d%s\n", i+1, hop, inet.OriginASN(hop), marker)
+		}
+		return reply.Responded, nil
+	case "trace":
+		tr, err := inet.Traceroute(vp, d)
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("traceroute %s → %v (reached=%v):\n", vp, d, tr.Reached)
+		for _, h := range tr.Hops {
+			if h.Responded {
+				fmt.Printf("  %2d  %-16v AS%-6d %v\n", h.TTL, h.Addr, inet.OriginASN(h.Addr), h.RTT)
+			} else {
+				fmt.Printf("  %2d  *\n", h.TTL)
+			}
+		}
+		return tr.Reached, nil
+	case "reverse":
+		rp, err := inet.ReversePath(vp, d)
+		if err != nil {
+			fmt.Printf("reverse %v → %s: %v\n", d, vp, err)
+			return false, nil
+		}
+		fmt.Printf("reverse path %v → %s (%d segments, complete=%v):\n",
+			d, vp, rp.Segments, rp.Complete)
+		for i, hop := range rp.Hops {
+			fmt.Printf("  %2d  %-16v AS%d\n", i+1, hop, inet.OriginASN(hop))
+		}
+		return len(rp.Hops) > 0, nil
+	default:
+		return false, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// runRaw sends one probe on the real network through the rawnet
+// transport. Only single-probe modes are supported.
+func runRaw(mode, src, dst string, ttl uint8) {
+	if src == "" || dst == "" {
+		log.Fatal("-raw needs both -src (a local address) and -dst")
+	}
+	srcAddr, err := netip.ParseAddr(src)
+	if err != nil {
+		log.Fatalf("bad -src: %v", err)
+	}
+	dstAddr, err := netip.ParseAddr(dst)
+	if err != nil {
+		log.Fatalf("bad -dst: %v", err)
+	}
+	var kind probe.Kind
+	switch mode {
+	case "ping":
+		kind = probe.Ping
+	case "rr":
+		kind = probe.PingRR
+	case "rrudp":
+		kind = probe.PingRRUDP
+	case "ttlrr":
+		kind = probe.TTLPingRR
+	case "ts":
+		kind = probe.PingTS
+	default:
+		log.Fatalf("mode %q not supported with -raw", mode)
+	}
+	tr, err := rawnet.New(srcAddr)
+	if err != nil {
+		log.Fatalf("raw transport: %v (need linux + CAP_NET_RAW)", err)
+	}
+	defer tr.Close()
+	done := make(chan probe.Result, 1)
+	tr.Do(func() {
+		p := probe.New(tr, 0x5252)
+		p.StartOne(probe.Spec{Dst: dstAddr, Kind: kind, TTL: ttl}, 3*time.Second, func(r probe.Result) {
+			done <- r
+		})
+	})
+	select {
+	case r := <-done:
+		fmt.Printf("%s %v → %s rtt=%v\n", mode, dstAddr, r.Type, r.RTT())
+		for i, hop := range r.RR {
+			fmt.Printf("  slot %d: %v\n", i+1, hop)
+		}
+		for i, e := range r.TS {
+			fmt.Printf("  ts %d: %v @ %dms\n", i+1, e.Addr, e.Millis)
+		}
+		if err := tr.Err(); err != nil {
+			log.Printf("transport: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		log.Fatal("probe never resolved")
+	}
+}
+
+// attachPcap wires a pcap capture to the named VP's host.
+func attachPcap(inet *recordroute.Internet, vpName, path string) (stop func(), err error) {
+	host, err := inet.HostOf(vpName)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := netsim.NewPcapWriter(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	detach := netsim.CaptureHost(host, w)
+	return func() {
+		detach()
+		if err := w.Err(); err != nil {
+			log.Printf("pcap: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Printf("pcap: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "captured %d packets to %s\n", w.Packets(), path)
+	}, nil
+}

@@ -1,0 +1,172 @@
+// Command rrstudy reproduces the paper's measurement study end to end
+// against a simulated Internet and prints every table and figure.
+//
+// Usage:
+//
+//	rrstudy [-scale 1.0] [-seed N] [-rate PPS] [-experiment all]
+//
+// Experiments: all, table1, fig1, fig2, audit, fig3, fig4, fig5, vpdist,
+// atlas, lsrr.
+// At -scale 1.0 (the default, ≈1/100 of the paper's probing volume) the
+// full run takes on the order of a minute.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"recordroute"
+	"recordroute/internal/results"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rrstudy: ")
+	var (
+		scale      = flag.Float64("scale", 1.0, "topology scale factor (1.0 ≈ 1/100 of the paper)")
+		seed       = flag.Uint64("seed", 0, "random seed (0 = built-in default)")
+		rate       = flag.Float64("rate", 20, "per-VP probing rate in packets per second")
+		experiment = flag.String("experiment", "all", "experiment to run: all|table1|fig1|fig2|audit|fig3|fig4|fig5|vpdist|atlas|lsrr")
+		jsonOut    = flag.String("json", "", "also write the combined machine-readable report to this file (all experiments only)")
+		dump       = flag.String("dump", "", "archive the raw per-VP ping-RR results to this file")
+		outdir     = flag.String("outdir", "", "also write each experiment's rendering to its own file in this directory (all experiments only)")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	inet, err := recordroute.New(
+		recordroute.WithScale(*scale),
+		recordroute.WithSeed(*seed),
+		recordroute.WithProbeRate(*rate),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# simulated Internet: %d ASes, %d destinations, %d VPs, %d clouds (built in %v)\n\n",
+		inet.NumASes(), len(inet.Destinations()), len(inet.VPNames()), len(inet.CloudNames()),
+		time.Since(start).Round(time.Millisecond))
+
+	w := os.Stdout
+	switch *experiment {
+	case "all":
+		var rep recordroute.Report
+		var err error
+		if *outdir != "" {
+			rep, err = runAllToDir(inet, w, *outdir)
+		} else {
+			rep, err = inet.RunAll(w)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "# report written to %s\n", *jsonOut)
+		}
+	case "table1":
+		inet.Table1(w)
+	case "fig1":
+		inet.Figure1Reachability(w)
+	case "fig2":
+		if _, err := inet.Figure2Epochs(w); err != nil {
+			log.Fatal(err)
+		}
+	case "audit":
+		inet.StampAudit(w, 0)
+	case "fig3":
+		inet.Figure3Clouds(w, 0)
+	case "fig4":
+		inet.Figure4RateLimit(w, 1000)
+	case "fig5":
+		inet.Figure5TTL(w, 0)
+	case "atlas":
+		inet.TopologyAtlas(w, 0)
+	case "lsrr":
+		inet.SourceRouteCheck(w, 0)
+	case "vpdist":
+		d := inet.VPResponseDistribution()
+		fmt.Printf("RR-responsive destinations answering >2/3 of VPs: %.2f (paper: ~0.80)\n", d.AboveTwoThirds)
+	default:
+		log.Fatalf("unknown experiment %q", *experiment)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := results.Write(f, inet.RawPingRRResults()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# raw results archived to %s\n", *dump)
+	}
+	fmt.Fprintf(os.Stderr, "\n# total wall time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runAllToDir mirrors RunAll but tees each experiment into its own file.
+func runAllToDir(inet *recordroute.Internet, w *os.File, dir string) (recordroute.Report, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return recordroute.Report{}, err
+	}
+	var rep recordroute.Report
+	run := func(name string, fn func(out *os.File)) error {
+		f, err := os.Create(filepath.Join(dir, name+".txt"))
+		if err != nil {
+			return err
+		}
+		fn(f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", filepath.Join(dir, name+".txt"))
+		return nil
+	}
+	steps := []struct {
+		name string
+		fn   func(out *os.File) error
+	}{
+		{"table1", func(out *os.File) error { rep.Table1 = inet.Table1(out); return nil }},
+		{"figure1", func(out *os.File) error { rep.Reachability = inet.Figure1Reachability(out); return nil }},
+		{"figure2", func(out *os.File) error {
+			var err error
+			rep.Epochs, err = inet.Figure2Epochs(out)
+			return err
+		}},
+		{"audit", func(out *os.File) error { rep.StampAudit = inet.StampAudit(out, 0); return nil }},
+		{"figure3", func(out *os.File) error { rep.Clouds = inet.Figure3Clouds(out, 0); return nil }},
+		{"figure4", func(out *os.File) error { rep.RateLimit = inet.Figure4RateLimit(out, 1000); return nil }},
+		{"figure5", func(out *os.File) error { rep.TTL = inet.Figure5TTL(out, 0); return nil }},
+		{"atlas", func(out *os.File) error { rep.Atlas = inet.TopologyAtlas(out, 0); return nil }},
+		{"lsrr", func(out *os.File) error { rep.SourceRoute = inet.SourceRouteCheck(out, 0); return nil }},
+	}
+	for _, st := range steps {
+		var inner error
+		if err := run(st.name, func(out *os.File) { inner = st.fn(out) }); err != nil {
+			return rep, err
+		}
+		if inner != nil {
+			return rep, inner
+		}
+	}
+	rep.VPResponse = inet.VPResponseDistribution()
+	fmt.Fprintln(w, "# per-experiment outputs written; see -outdir")
+	return rep, nil
+}

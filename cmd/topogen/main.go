@@ -1,0 +1,174 @@
+// Command topogen generates a synthetic Internet topology and exports
+// its datasets in the study's text formats: the advertised-prefix table
+// (RouteViews-style), the per-prefix hitlist, and the AS classification
+// (CAIDA as2types-style).
+//
+// Usage:
+//
+//	topogen [-scale 1.0] [-seed N] [-epoch 2016] [-out DIR]
+//
+// Without -out, a summary is printed; with it, prefixes.txt,
+// hitlist.txt, and astypes.txt are written to DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"path/filepath"
+
+	"recordroute/internal/analysis"
+	"recordroute/internal/dataset"
+	"recordroute/internal/hitlist"
+	"recordroute/internal/probe"
+	"recordroute/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topogen: ")
+	var (
+		scale    = flag.Float64("scale", 1.0, "topology scale factor")
+		seed     = flag.Uint64("seed", 0, "random seed (0 = built-in default)")
+		epoch    = flag.String("epoch", "2016", "interconnection era: 2016 or 2011")
+		out      = flag.String("out", "", "directory to write dataset files into")
+		dot      = flag.Bool("dot", false, "emit the AS relationship graph in Graphviz DOT format")
+		discover = flag.Bool("discover", false, "run hitlist discovery (ping sweep) instead of trusting the ground-truth hitlist")
+	)
+	flag.Parse()
+
+	e := topology.Epoch2016
+	if *epoch == "2011" {
+		e = topology.Epoch2011
+	} else if *epoch != "2016" {
+		log.Fatalf("unknown epoch %q", *epoch)
+	}
+	cfg := topology.DefaultConfig(e)
+	if *scale != 1.0 {
+		cfg = cfg.Scale(*scale)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	topo, err := topology.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := dataset.FromTopology(topo)
+
+	roleCount := make(map[string]int)
+	routers := 0
+	for i, as := range topo.ASes {
+		roleCount[as.Role.String()]++
+		routers += len(topo.Routers[i])
+	}
+	fmt.Printf("epoch %s, seed %d\n", cfg.Epoch, cfg.Seed)
+	fmt.Printf("%d ASes, %d routers, %d advertised prefixes, %d VPs (+%d clouds)\n",
+		len(topo.ASes), routers, len(d.Prefixes), len(topo.VPs), len(topo.CloudVPs))
+	for _, role := range []string{"tier1", "transit", "access", "enterprise", "content", "unknown-stub", "cloud"} {
+		fmt.Printf("  %-13s %4d\n", role, roleCount[role])
+	}
+	printPathStats(topo)
+
+	if *dot {
+		writeDOT(os.Stdout, topo)
+	}
+	if *discover {
+		runDiscovery(topo, d)
+	}
+	if *out == "" {
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, fn func(f *os.File) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	write("prefixes.txt", func(f *os.File) error { return d.WritePrefixes(f) })
+	write("hitlist.txt", func(f *os.File) error { return d.WriteHitlist(f) })
+	write("astypes.txt", func(f *os.File) error { return d.WriteASTypes(f) })
+}
+
+// printPathStats samples oracle paths from every platform VP to a
+// spread of destinations and prints the router-hop distribution — the
+// quantity Figure 1's reachability depends on.
+func printPathStats(topo *topology.Topology) {
+	var hops []float64
+	step := len(topo.Dests)/200 + 1
+	for _, vp := range topo.VPs {
+		for i := 0; i < len(topo.Dests); i += step {
+			if p := topo.ForwardStampPath(vp.Addr, topo.Dests[i].Addr); p != nil {
+				hops = append(hops, float64(len(p)))
+			}
+		}
+	}
+	d := analysis.Describe(hops)
+	fmt.Printf("router-level path lengths (VP → destination, %d samples):\n", d.N)
+	fmt.Printf("  min %.0f / median %.0f / mean %.1f / p90 %.0f / max %.0f\n",
+		d.Min, d.Median, d.Mean, d.P90, d.Max)
+}
+
+// writeDOT renders the AS relationship graph: solid arrows point from
+// provider to customer, dashed edges are peerings.
+func writeDOT(w *os.File, topo *topology.Topology) {
+	fmt.Fprintln(w, "digraph internet {")
+	fmt.Fprintln(w, "  rankdir=TB; node [shape=box, fontsize=9];")
+	for _, as := range topo.ASes {
+		fmt.Fprintf(w, "  as%d [label=\"%s\\nAS%d\"];\n", as.Index, as.Name, as.ASN)
+	}
+	for a := 0; a < topo.Graph.N(); a++ {
+		for _, nb := range topo.Graph.Neighbors(a) {
+			switch {
+			case nb.Rel == topology.RelCustomer:
+				fmt.Fprintf(w, "  as%d -> as%d;\n", a, nb.To)
+			case nb.Rel == topology.RelPeer && a < nb.To:
+				fmt.Fprintf(w, "  as%d -> as%d [dir=none, style=dashed];\n", a, nb.To)
+			}
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// runDiscovery replaces the ground-truth hitlist with a discovered one.
+func runDiscovery(topo *topology.Topology, d *dataset.Dataset) {
+	var vp *topology.VP
+	for _, v := range topo.VPs {
+		if !v.SourceRateLimited {
+			vp = v
+			break
+		}
+	}
+	p := probe.New(probe.NewSimTransport(vp.Host, topo.Net.Engine()), 0x7d01)
+	var pfxs []netip.Prefix
+	for _, h := range d.Hitlist {
+		pfxs = append(pfxs, h.Prefix)
+	}
+	var entries []hitlist.Entry
+	hitlist.Discover(p, pfxs, hitlist.Options{Rate: 2000}, func(es []hitlist.Entry) { entries = es })
+	topo.Net.Engine().Run()
+	responsive := 0
+	for i, e := range entries {
+		d.Hitlist[i].Addr = e.Addr
+		if e.Responsive {
+			responsive++
+		}
+	}
+	fmt.Printf("hitlist discovery: %d of %d prefixes responsive (swept from %s)\n",
+		responsive, len(entries), vp.Name)
+}

@@ -1,0 +1,50 @@
+package recordroute_test
+
+import (
+	"fmt"
+
+	"recordroute"
+)
+
+// The simplest measurement: build a small deterministic Internet and
+// send a ping with the Record Route option.
+func ExampleInternet_PingRR() {
+	inet := recordroute.MustNew(recordroute.WithScale(0.15), recordroute.WithSeed(1))
+	vps := inet.MLabVPs()
+	vp := vps[len(vps)-1]
+
+	for _, dst := range inet.Destinations() {
+		reply, err := inet.PingRR(vp, dst)
+		if err != nil || !reply.Responded || !reply.DestinationStamped {
+			continue
+		}
+		fmt.Println("kind:", reply.Kind)
+		fmt.Println("destination stamped:", reply.DestinationStamped)
+		fmt.Println("slots used:", len(reply.RecordedRoute))
+		break
+	}
+	// Output:
+	// kind: echo-reply
+	// destination stamped: true
+	// slots used: 9
+}
+
+// TTL-limited ping-RR probes expire mid-path, and their Record Route
+// contents are read back from the quoted ICMP error (§4.2).
+func ExampleInternet_PingRRWithTTL() {
+	inet := recordroute.MustNew(recordroute.WithScale(0.15), recordroute.WithSeed(1))
+	vps := inet.MLabVPs()
+	vp := vps[len(vps)-1]
+	dst := inet.Destinations()[0]
+
+	reply, err := inet.PingRRWithTTL(vp, dst, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("kind:", reply.Kind)
+	fmt.Println("option recovered from quote:", reply.HasRecordRoute)
+	// Output:
+	// kind: time-exceeded
+	// option recovered from quote: true
+}

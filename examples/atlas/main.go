@@ -1,0 +1,35 @@
+// Command atlas demonstrates the paper's §2 claim that Record Route and
+// traceroute complement each other: it merges both measurement types
+// into an interface-level topology map and reports what each uncovered
+// that the other could not — reverse-path hops and TTL-invisible
+// routers for RR, non-stamping routers and far hops for traceroute.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"recordroute"
+)
+
+func main() {
+	inet, err := recordroute.New(recordroute.WithScale(0.25), recordroute.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("merging ping-RR and traceroute views of a %d-AS Internet…\n\n", inet.NumASes())
+	sum := inet.TopologyAtlas(os.Stdout, 100)
+
+	fmt.Println()
+	rrShare := float64(sum.RROnly) / float64(sum.Interfaces)
+	trShare := float64(sum.TracerouteOnly) / float64(sum.Interfaces)
+	fmt.Printf("neither primitive suffices alone: traceroute misses %.0f%% of observed\n", 100*rrShare)
+	fmt.Printf("interfaces (reverse paths, hidden routers) and RR misses %.0f%%\n", 100*trShare)
+	fmt.Printf("(non-stamping routers, hops beyond nine slots).\n")
+	if sum.AnonymousRROnly > 0 {
+		fmt.Printf("\n%d routers in this Internet never decrement TTL — no traceroute will\n", sum.AnonymousRROnly)
+		fmt.Println("ever show them, yet they appear in Record Route headers.")
+	}
+}

@@ -1,0 +1,58 @@
+// Command quickstart builds a small simulated Internet, sends a ping
+// with the Record Route option from an M-Lab-like vantage point to a
+// destination, and prints the recorded route — the paper's core
+// measurement in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recordroute"
+)
+
+func main() {
+	inet, err := recordroute.New(recordroute.WithScale(0.2), recordroute.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vps := inet.MLabVPs()
+	vp := vps[len(vps)-1]
+	fmt.Printf("simulated Internet: %d ASes, %d destinations, %d vantage points\n",
+		inet.NumASes(), len(inet.Destinations()), len(inet.VPNames()))
+	fmt.Printf("probing from %s\n\n", vp)
+
+	shown := 0
+	for _, dst := range inet.Destinations() {
+		reply, err := inet.PingRR(vp, dst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !reply.Responded {
+			continue
+		}
+		fmt.Printf("ping-RR %v → %s in %v\n", dst, reply.Kind, reply.RTT)
+		if len(reply.RecordedRoute) == 0 {
+			fmt.Println("  (reply carried no Record Route option)")
+		}
+		for i, hop := range reply.RecordedRoute {
+			marker := ""
+			if hop == dst {
+				marker = "  ← destination (RR-reachable!)"
+			}
+			fmt.Printf("  slot %d: %-16v AS%d%s\n", i+1, hop, inet.OriginASN(hop), marker)
+		}
+		if reply.DestinationStamped {
+			fmt.Printf("  %d slots to spare: the reverse path is measurable from here\n",
+				reply.SlotsRemaining)
+		} else {
+			fmt.Println("  destination did not appear: beyond the nine hop limit (or not honoring RR)")
+		}
+		fmt.Println()
+		shown++
+		if shown == 5 {
+			break
+		}
+	}
+}

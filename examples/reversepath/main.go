@@ -1,0 +1,61 @@
+// Command reversepath demonstrates the measurement the paper's
+// reachability analysis ultimately enables: Reverse Traceroute. Using
+// stitched, source-spoofed ping-RR probes, it measures the path *from*
+// a destination *back to* a vantage point — the direction ordinary
+// traceroute cannot see — and compares it with the forward path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recordroute"
+)
+
+func main() {
+	inet, err := recordroute.New(recordroute.WithScale(0.2), recordroute.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	vps := inet.MLabVPs()
+	vp := vps[len(vps)-1]
+
+	measured := 0
+	for _, dst := range inet.Destinations() {
+		// Reverse paths need the destination within eight RR hops of
+		// some vantage point; check with a plain ping-RR first.
+		probe, err := inet.PingRR(vp, dst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !probe.DestinationStamped || probe.SlotsRemaining == 0 {
+			continue
+		}
+
+		fwd, err := inet.Traceroute(vp, dst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rev, err := inet.ReversePath(vp, dst)
+		if err != nil {
+			fmt.Printf("reverse path to %v failed: %v\n", dst, err)
+			continue
+		}
+
+		fmt.Printf("destination %v (AS%d):\n", dst, inet.OriginASN(dst))
+		fmt.Printf("  forward  (%s → dst): %d hops via traceroute\n", vp, len(fwd.Hops))
+		fmt.Printf("  reverse  (dst → %s): %d hops via %d stitched RR measurements (complete=%v)\n",
+			vp, len(rev.Hops), rev.Segments, rev.Complete)
+		for i, hop := range rev.Hops {
+			fmt.Printf("    %2d. %-16v AS%d\n", i+1, hop, inet.OriginASN(hop))
+		}
+		fmt.Println()
+		measured++
+		if measured == 3 {
+			break
+		}
+	}
+	if measured == 0 {
+		fmt.Println("no destination was within reverse-path range of", vp)
+	}
+}

@@ -1,0 +1,380 @@
+package recordroute
+
+import (
+	"io"
+	"net/netip"
+
+	"recordroute/internal/core"
+	"recordroute/internal/probe"
+	"recordroute/internal/study"
+)
+
+// responsiveness runs (once) and caches the Table 1 measurement every
+// other experiment builds on.
+func (in *Internet) responsiveness() *study.Responsiveness {
+	if in.resp == nil {
+		in.resp = in.st.RunResponsiveness()
+	}
+	return in.resp
+}
+
+// Table1Summary is the machine-readable core of the paper's Table 1.
+type Table1Summary struct {
+	Probed, PingResponsive, RRResponsive int
+	// RRRatioByIP is RR-responsive/ping-responsive over addresses
+	// (0.75 published); RRRatioByAS the same over ASes (0.82).
+	RRRatioByIP, RRRatioByAS float64
+}
+
+// Table1 runs the responsiveness study and renders the paper's Table 1
+// to w (pass nil to skip rendering).
+func (in *Internet) Table1(w io.Writer) Table1Summary {
+	r := in.responsiveness()
+	if w != nil {
+		r.Render(w)
+	}
+	total := r.Table.ByIP["Total"]
+	return Table1Summary{
+		Probed:         total.Probed,
+		PingResponsive: total.PingResponsive,
+		RRResponsive:   total.RRResponsive,
+		RRRatioByIP:    r.RRRatioByIP(),
+		RRRatioByAS:    r.RRRatioByAS(),
+	}
+}
+
+// ReachabilitySummary is the machine-readable core of §3.3 / Figure 1.
+type ReachabilitySummary struct {
+	// ReachableFrac is the fraction of RR-responsive destinations
+	// within nine hops of some VP (0.66 published); Within8Frac within
+	// eight (≈0.60 published).
+	ReachableFrac, Within8Frac float64
+	// AliasReclassified and RRUDPReclassified count the §3.3
+	// false-negative recoveries.
+	AliasReclassified, RRUDPReclassified int
+	// GreedyCoverage[k] is the fraction of RR-reachable destinations
+	// covered by the best k+1 M-Lab sites (73%…95% published for
+	// 1…10 sites).
+	GreedyCoverage []float64
+}
+
+// Figure1Reachability runs the §3.3 reachability analysis and renders
+// Figure 1 to w.
+func (in *Internet) Figure1Reachability(w io.Writer) ReachabilitySummary {
+	r := in.responsiveness()
+	re := in.st.RunReachability(r)
+	if w != nil {
+		re.Render(w)
+	}
+	s := ReachabilitySummary{
+		ReachableFrac:     re.ReachableFrac,
+		Within8Frac:       re.Within8Frac,
+		AliasReclassified: re.AliasReclassified,
+		RRUDPReclassified: re.RRUDPReclassified,
+	}
+	reachable := 0
+	for _, d := range re.RRResponsive {
+		if re.Stats[d].RRReachable() {
+			reachable++
+		}
+	}
+	for _, step := range re.Greedy {
+		f := 0.0
+		if reachable > 0 {
+			f = float64(step.TotalCovered) / float64(reachable)
+		}
+		s.GreedyCoverage = append(s.GreedyCoverage, f)
+	}
+	return s
+}
+
+// EpochSummary is the machine-readable core of §3.4 / Figure 2.
+type EpochSummary struct {
+	// Reachable2016 and Reachable2011 are the all-VP RR-reachable
+	// fractions (0.66 vs 0.12 published).
+	Reachable2016, Reachable2011 float64
+	// Common2016 and Common2011 restrict to VPs present in both years.
+	Common2016, Common2011 float64
+}
+
+// Figure2Epochs builds and measures both epochs (an independent 2011
+// Internet is generated from the same seed) and renders Figure 2 to w.
+func (in *Internet) Figure2Epochs(w io.Writer) (EpochSummary, error) {
+	cfg, _ := buildConfig([]Option{
+		WithScale(in.opts.scale), WithSeed(in.opts.seed),
+		WithProbeRate(in.opts.rate), WithTimeout(in.opts.timeout),
+	})
+	ec, err := study.RunEpochComparison(cfg, study.Options{Rate: in.opts.rate, Timeout: in.opts.timeout})
+	if err != nil {
+		return EpochSummary{}, err
+	}
+	if w != nil {
+		ec.Render(w)
+	}
+	return EpochSummary{
+		Reachable2016: ec.ReachableFrac2016,
+		Reachable2011: ec.ReachableFrac2011,
+		Common2016:    ec.CommonFrac2016,
+		Common2011:    ec.CommonFrac2011,
+	}, nil
+}
+
+// StampAuditSummary is the machine-readable core of §3.5.
+type StampAuditSummary struct {
+	// ASesAudited is the number of ASes seen in traceroutes; Always,
+	// Sometimes, and Never partition them by whether the corresponding
+	// ping-RR also recorded them (7040/143/2 of 7185 published).
+	ASesAudited, Always, Sometimes, Never int
+	// NeverASNs lists the suspected AS-wide no-stamp networks.
+	NeverASNs []int
+}
+
+// StampAudit runs the §3.5 traceroute/RR comparison (perVPCap
+// destinations per M-Lab VP; 0 for the default) and renders it to w.
+func (in *Internet) StampAudit(w io.Writer, perVPCap int) StampAuditSummary {
+	r := in.responsiveness()
+	sa := in.st.RunStampAudit(r, perVPCap)
+	if w != nil {
+		sa.Render(w)
+	}
+	return StampAuditSummary{
+		ASesAudited: len(sa.Audit.PerAS),
+		Always:      len(sa.Audit.Always),
+		Sometimes:   len(sa.Audit.Sometimes),
+		Never:       len(sa.Audit.Never),
+		NeverASNs:   sa.Audit.Never,
+	}
+}
+
+// CloudSummary is the machine-readable core of §3.6 / Figure 3.
+type CloudSummary struct {
+	// Within8 maps each cloud to the fraction of RR-responsive (but not
+	// M-Lab-reachable) destinations within eight hops of its border
+	// (EC2 40%, Softlayer 45% published).
+	Within8 map[string]float64
+	// MLabMedianHops and CloudMedianHops compare distances to the
+	// RR-reachable set.
+	MLabMedianHops  float64
+	CloudMedianHops map[string]float64
+}
+
+// Figure3Clouds runs the §3.6 cloud-distance analysis (sampleCap
+// destinations per set; 0 for the default) and renders Figure 3 to w.
+func (in *Internet) Figure3Clouds(w io.Writer, sampleCap int) CloudSummary {
+	r := in.responsiveness()
+	cr := in.st.RunCloudDistance(r, sampleCap)
+	if w != nil {
+		cr.Render(w)
+	}
+	return CloudSummary{
+		Within8:         cr.Within8,
+		MLabMedianHops:  cr.MLabMedian,
+		CloudMedianHops: cr.CloudMedian,
+	}
+}
+
+// RateLimitSummary is the machine-readable core of §4.1 / Figure 4.
+type RateLimitSummary struct {
+	// ResponsesAt10 and ResponsesAt100 are per-VP RR response counts at
+	// the two probing rates.
+	ResponsesAt10, ResponsesAt100 map[string]int
+	// DrasticDrop lists VPs losing >25% at 100pps (8 of 79 published).
+	DrasticDrop []string
+}
+
+// Figure4RateLimit runs the §4.1 rate experiment over sampleCap
+// RR-responsive destinations (0 for all) and renders Figure 4 to w.
+func (in *Internet) Figure4RateLimit(w io.Writer, sampleCap int) RateLimitSummary {
+	r := in.responsiveness()
+	rl := in.st.RunRateLimit(r, sampleCap)
+	if w != nil {
+		rl.Render(w)
+	}
+	s := RateLimitSummary{
+		ResponsesAt10:  make(map[string]int),
+		ResponsesAt100: make(map[string]int),
+		DrasticDrop:    rl.DrasticDrop,
+	}
+	for vp, v := range rl.PerVP {
+		s.ResponsesAt10[vp] = v.At10
+		s.ResponsesAt100[vp] = v.At100
+	}
+	return s
+}
+
+// TTLSummary is the machine-readable core of §4.2 / Figure 5.
+type TTLSummary struct {
+	// ReachableRate and UnreachableRate map initial TTL to destination
+	// response rate for the two populations (sweet spot 10–12
+	// published: ~70% vs ~25% at TTL 10).
+	ReachableRate, UnreachableRate map[uint8]float64
+}
+
+// Figure5TTL runs the §4.2 TTL-tradeoff experiment (perVPCap
+// destinations per class per VP; 0 for the default) and renders
+// Figure 5 to w.
+func (in *Internet) Figure5TTL(w io.Writer, perVPCap int) TTLSummary {
+	r := in.responsiveness()
+	tr := in.st.RunTTLStudy(r, perVPCap)
+	if w != nil {
+		tr.Render(w)
+	}
+	return TTLSummary{ReachableRate: tr.ReachableRate, UnreachableRate: tr.UnreachableRate}
+}
+
+// AtlasSummary is the §2 complementarity experiment's summary.
+type AtlasSummary struct {
+	// Interfaces is the alias-collapsed interface count; Both,
+	// TracerouteOnly, and RROnly partition it by provenance; RRReverse
+	// counts reverse-path interfaces invisible to forward probing.
+	Interfaces, Both, TracerouteOnly, RROnly, RRReverse, Links int
+	// AnonymousRROnly counts ground-truth TTL-invisible routers that
+	// only RR observed.
+	AnonymousRROnly int
+}
+
+// TopologyAtlas merges all ping-RR results with traceroutes (perVPCap
+// destinations per M-Lab VP; 0 for the default) into an interface-level
+// atlas and renders the §2 complementarity summary to w.
+func (in *Internet) TopologyAtlas(w io.Writer, perVPCap int) AtlasSummary {
+	r := in.responsiveness()
+	ar := in.st.RunAtlas(r, perVPCap)
+	if w != nil {
+		ar.Render(w)
+	}
+	return AtlasSummary{
+		Interfaces:      ar.Stats.Interfaces,
+		Both:            ar.Stats.Both,
+		TracerouteOnly:  ar.Stats.TracerouteOnly,
+		RROnly:          ar.Stats.RROnly,
+		RRReverse:       ar.Stats.RRReverse,
+		Links:           ar.Stats.Links,
+		AnonymousRROnly: ar.AnonymousRROnly,
+	}
+}
+
+// Classification names a destination's §3.1 class ("unresponsive",
+// "ping-responsive", "rr-responsive", "rr-reachable",
+// "reverse-measurable") with the best RR slot it occupied.
+type Classification struct {
+	Class    string
+	BestSlot int
+	// FalseNegativeSignal marks the §3.3 signature: responses with free
+	// RR slots but no destination stamp, worth re-testing via alias
+	// resolution or ping-RRudp.
+	FalseNegativeSignal bool
+}
+
+// ClassifyDestination applies the paper's full per-destination
+// methodology to dst: a plain ping and a ping-RR from every vantage
+// point, plus a ping-RRudp when the first pass shows the false-negative
+// signature, all folded through the §3.1 decision rules.
+func (in *Internet) ClassifyDestination(dst netip.Addr) Classification {
+	var results []probe.Result
+	collect := func(kind probe.Kind) {
+		for _, vp := range in.st.Camp.VPs {
+			vp := vp
+			vp.Prober.StartOne(probe.Spec{Dst: dst, Kind: kind}, in.opts.timeout, func(r probe.Result) {
+				results = append(results, r)
+			})
+		}
+		in.st.Camp.Eng.Run()
+	}
+	collect(probe.Ping)
+	collect(probe.PingRR)
+	v := core.Classify(dst, results, nil)
+	if v.FalseNegativeSignal && v.BestSlot == 0 {
+		collect(probe.PingRRUDP)
+		v = core.Classify(dst, results, nil)
+	}
+	return Classification{Class: v.Class.String(), BestSlot: v.BestSlot, FalseNegativeSignal: v.FalseNegativeSignal}
+}
+
+// RawPingRRResults exposes the per-VP ping-RR results of the cached
+// responsiveness run, for archiving with internal/results (the paper
+// released its raw datasets the same way).
+func (in *Internet) RawPingRRResults() map[string][]probe.Result {
+	return in.responsiveness().PerVP
+}
+
+// SourceRouteSummary is the historical-contrast summary.
+type SourceRouteSummary struct {
+	// Probed counts (VP, destination) pairs tried with both primitives;
+	// RRRate and LSRRRate are the per-primitive response rates — the
+	// 2005-report-vs-this-paper contrast.
+	Probed           int
+	RRRate, LSRRRate float64
+}
+
+// SourceRouteCheck probes the same targets with ping-RR and
+// loose-source-routed pings (perVPCap per VP; 0 for the default) and
+// renders the contrast to w.
+func (in *Internet) SourceRouteCheck(w io.Writer, perVPCap int) SourceRouteSummary {
+	r := in.responsiveness()
+	sr := in.st.RunSourceRouteCheck(r, perVPCap)
+	if w != nil {
+		sr.Render(w)
+	}
+	return SourceRouteSummary{Probed: sr.Probed, RRRate: sr.RRRate(), LSRRRate: sr.LSRRRate()}
+}
+
+// VPResponseSummary is the §3.2 distribution headline.
+type VPResponseSummary struct {
+	// AboveTwoThirds is the share of RR-responsive destinations
+	// answering more than 2/3 of the VPs (~0.80 published for >90/141).
+	AboveTwoThirds float64
+}
+
+// VPResponseDistribution computes the §3.2 distribution.
+func (in *Internet) VPResponseDistribution() VPResponseSummary {
+	return VPResponseSummary{AboveTwoThirds: in.responsiveness().VPResponseDist().AboveTwoThirds}
+}
+
+// Report bundles every experiment's machine-readable summary, the
+// paper-vs-measured record a reproduction run leaves behind.
+type Report struct {
+	Table1       Table1Summary
+	VPResponse   VPResponseSummary
+	Reachability ReachabilitySummary
+	Epochs       EpochSummary
+	StampAudit   StampAuditSummary
+	Clouds       CloudSummary
+	RateLimit    RateLimitSummary
+	TTL          TTLSummary
+	Atlas        AtlasSummary
+	SourceRoute  SourceRouteSummary
+}
+
+// RunAll executes every experiment in paper order, rendering each to w
+// (nil suppresses rendering) and returning the combined report.
+func (in *Internet) RunAll(w io.Writer) (Report, error) {
+	var rep Report
+	rep.Table1 = in.Table1(w)
+	rep.VPResponse = in.VPResponseDistribution()
+	nl(w)
+	rep.Reachability = in.Figure1Reachability(w)
+	nl(w)
+	var err error
+	if rep.Epochs, err = in.Figure2Epochs(w); err != nil {
+		return rep, err
+	}
+	nl(w)
+	rep.StampAudit = in.StampAudit(w, 0)
+	nl(w)
+	rep.Clouds = in.Figure3Clouds(w, 0)
+	nl(w)
+	rep.RateLimit = in.Figure4RateLimit(w, 1000)
+	nl(w)
+	rep.TTL = in.Figure5TTL(w, 0)
+	nl(w)
+	rep.Atlas = in.TopologyAtlas(w, 0)
+	nl(w)
+	rep.SourceRoute = in.SourceRouteCheck(w, 0)
+	return rep, nil
+}
+
+func nl(w io.Writer) {
+	if w != nil {
+		io.WriteString(w, "\n")
+	}
+}

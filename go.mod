@@ -1,0 +1,3 @@
+module recordroute
+
+go 1.22

@@ -1,0 +1,180 @@
+// Package alias implements MIDAR-style IP alias resolution: interfaces
+// of one device share a single monotonically increasing IP-ID counter,
+// so interleaved probes to two aliases yield ID samples that merge into
+// one consistent increasing sequence (the Monotonic Bound Test), while
+// unrelated devices almost never do.
+//
+// The paper (§3.3) uses MIDAR to reclassify destinations that recorded
+// an alias — rather than the probed address — into their Record Route
+// responses.
+package alias
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Sample is one (receive time, IP-ID) observation for a candidate
+// address.
+type Sample struct {
+	At time.Duration
+	ID uint16
+}
+
+// Series is a time-ordered sequence of samples from one address.
+type Series []Sample
+
+// Config tunes the monotonic bound test.
+type Config struct {
+	// MaxVelocity is the highest plausible counter rate in IDs per
+	// second; implied increments beyond it refute shared ownership.
+	// 0 means 2000.
+	MaxVelocity float64
+	// MinSamples is the minimum number of samples per address for a
+	// pair to be testable. 0 means 3.
+	MinSamples int
+}
+
+func (c Config) maxVelocity() float64 {
+	if c.MaxVelocity <= 0 {
+		return 2000
+	}
+	return c.MaxVelocity
+}
+
+func (c Config) minSamples() int {
+	if c.MinSamples <= 0 {
+		return 3
+	}
+	return c.MinSamples
+}
+
+// Compatible runs the monotonic bound test on two series: it merges them
+// in time order and checks that consecutive IDs advance like one shared
+// 16-bit counter — strictly increasing (mod 2^16) with increments
+// bounded by MaxVelocity times the elapsed gap. Series that are too
+// short are never compatible.
+func Compatible(a, b Series, cfg Config) bool {
+	if len(a) < cfg.minSamples() || len(b) < cfg.minSamples() {
+		return false
+	}
+	merged := make(Series, 0, len(a)+len(b))
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i].At < merged[j].At })
+	return monotonic(merged, cfg.maxVelocity())
+}
+
+// monotonic checks a merged series against the shared-counter model.
+func monotonic(s Series, maxVelocity float64) bool {
+	for i := 1; i < len(s); i++ {
+		dt := (s[i].At - s[i-1].At).Seconds()
+		delta := int(s[i].ID-s[i-1].ID) & 0xffff
+		if delta == 0 {
+			// A shared counter increments on every originated packet;
+			// two equal IDs in sequence mean two different counters
+			// (or a wrap of exactly 2^16, beyond any sane velocity).
+			return false
+		}
+		// Allow one increment of slack for near-simultaneous arrivals.
+		if float64(delta) > maxVelocity*dt+64 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sets is a disjoint-set partition of addresses into alias sets.
+type Sets struct {
+	parent map[netip.Addr]netip.Addr
+}
+
+// NewSets returns an empty partition.
+func NewSets() *Sets {
+	return &Sets{parent: make(map[netip.Addr]netip.Addr)}
+}
+
+// find returns the set representative with path compression.
+func (s *Sets) find(a netip.Addr) netip.Addr {
+	p, ok := s.parent[a]
+	if !ok || p == a {
+		return a
+	}
+	root := s.find(p)
+	s.parent[a] = root
+	return root
+}
+
+// Union merges the sets of a and b. The representative is the numerically
+// smaller address, keeping results deterministic.
+func (s *Sets) Union(a, b netip.Addr) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	if rb.Less(ra) {
+		ra, rb = rb, ra
+	}
+	s.parent[rb] = ra
+	if _, ok := s.parent[ra]; !ok {
+		s.parent[ra] = ra
+	}
+}
+
+// Canonical returns the representative of a's alias set (a itself when
+// unknown) — the aliasOf function the analysis layer consumes.
+func (s *Sets) Canonical(a netip.Addr) netip.Addr { return s.find(a) }
+
+// SameDevice reports whether a and b were resolved to one device.
+func (s *Sets) SameDevice(a, b netip.Addr) bool { return s.find(a) == s.find(b) }
+
+// All returns every non-singleton alias set, each sorted, ordered by
+// representative.
+func (s *Sets) All() [][]netip.Addr {
+	groups := make(map[netip.Addr][]netip.Addr)
+	for a := range s.parent {
+		r := s.find(a)
+		groups[r] = append(groups[r], a)
+	}
+	var reps []netip.Addr
+	for r, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		reps = append(reps, r)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].Less(reps[j]) })
+	out := make([][]netip.Addr, 0, len(reps))
+	for _, r := range reps {
+		members := groups[r]
+		sort.Slice(members, func(i, j int) bool { return members[i].Less(members[j]) })
+		out = append(out, members)
+	}
+	return out
+}
+
+// Resolve tests the given candidate pairs and unions those whose series
+// pass the monotonic bound test.
+func Resolve(series map[netip.Addr]Series, pairs [][2]netip.Addr, cfg Config) *Sets {
+	sets := NewSets()
+	for _, p := range pairs {
+		sa, sb := series[p[0]], series[p[1]]
+		if Compatible(sa, sb, cfg) {
+			sets.Union(p[0], p[1])
+		}
+	}
+	return sets
+}
+
+// AllPairs expands a candidate list into every unordered pair, for
+// small-scale exhaustive resolution.
+func AllPairs(addrs []netip.Addr) [][2]netip.Addr {
+	var out [][2]netip.Addr
+	for i := range addrs {
+		for j := i + 1; j < len(addrs); j++ {
+			out = append(out, [2]netip.Addr{addrs[i], addrs[j]})
+		}
+	}
+	return out
+}

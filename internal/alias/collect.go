@@ -1,0 +1,33 @@
+package alias
+
+import (
+	"net/netip"
+
+	"recordroute/internal/probe"
+)
+
+// Collect gathers IP-ID series for the candidate addresses by sending
+// `rounds` interleaved pings to each (round-robin over addresses, the
+// interleaving MIDAR's test depends on) and calls done with the series
+// keyed by address. Unanswered probes contribute no samples.
+func Collect(p *probe.Prober, addrs []netip.Addr, rounds int, opts probe.Options, done func(map[netip.Addr]Series)) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	specs := make([]probe.Spec, 0, rounds*len(addrs))
+	for r := 0; r < rounds; r++ {
+		for _, a := range addrs {
+			specs = append(specs, probe.Spec{Dst: a, Kind: probe.Ping})
+		}
+	}
+	p.StartBatch(specs, opts, func(rs []probe.Result) {
+		series := make(map[netip.Addr]Series, len(addrs))
+		for _, r := range rs {
+			if r.Type != probe.EchoReply {
+				continue
+			}
+			series[r.Dst] = append(series[r.Dst], Sample{At: r.RcvdAt, ID: r.ReplyIPID})
+		}
+		done(series)
+	})
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// NewCDFInts builds a CDF from integer samples.
+func NewCDFInts(samples []int) CDF {
+	fs := make([]float64, len(samples))
+	for i, v := range samples {
+		fs[i] = float64(v)
+	}
+	return NewCDF(fs)
+}
+
+// N returns the sample count.
+func (c CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x), or 0 for an empty distribution.
+func (c CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, x)
+	// Advance past equal values: Search finds the first >= x.
+	for idx < len(c.sorted) && c.sorted[idx] <= x {
+		idx++
+	}
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1), or 0 when empty.
+func (c CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(q * float64(len(c.sorted)))
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Series samples the CDF at the given xs, for figure output.
+func (c CDF) Series(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = c.At(x)
+	}
+	return out
+}
+
+// Figure is a multi-line CDF (or any y-vs-x) series table rendered as
+// text: one row per x, one column per named line — the textual
+// equivalent of the paper's gnuplot figures.
+type Figure struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Lines  []FigureLine
+}
+
+// FigureLine is one named series.
+type FigureLine struct {
+	Name string
+	Y    []float64
+}
+
+// AddCDF samples a CDF onto the figure's x grid as a new line.
+func (f *Figure) AddCDF(name string, c CDF) {
+	f.Lines = append(f.Lines, FigureLine{Name: name, Y: c.Series(f.X)})
+}
+
+// AddLine appends a precomputed series; y must match len(X).
+func (f *Figure) AddLine(name string, y []float64) {
+	if len(y) != len(f.X) {
+		panic(fmt.Sprintf("analysis: line %q has %d points for %d xs", name, len(y), len(f.X)))
+	}
+	f.Lines = append(f.Lines, FigureLine{Name: name, Y: y})
+}
+
+// Render writes the figure as an aligned text table.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", f.Title)
+	fmt.Fprintf(w, "%-12s", f.XLabel)
+	for _, l := range f.Lines {
+		fmt.Fprintf(w, " %20s", l.Name)
+	}
+	fmt.Fprintln(w)
+	for i, x := range f.X {
+		fmt.Fprintf(w, "%-12.4g", x)
+		for _, l := range f.Lines {
+			fmt.Fprintf(w, " %20.4f", l.Y[i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Description summarizes a sample distribution.
+type Description struct {
+	N                 int
+	Min, Median, Mean float64
+	P90, Max          float64
+}
+
+// Describe computes summary statistics; zero values for empty input.
+func Describe(samples []float64) Description {
+	if len(samples) == 0 {
+		return Description{}
+	}
+	c := NewCDF(samples)
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	return Description{
+		N:      len(samples),
+		Min:    c.Quantile(0),
+		Median: c.Quantile(0.5),
+		Mean:   sum / float64(len(samples)),
+		P90:    c.Quantile(0.9),
+		Max:    c.Quantile(1),
+	}
+}
+
+// IntRange returns [lo, lo+1, …, hi] as float64s, a convenience for
+// hop-count x-axes.
+func IntRange(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, float64(v))
+	}
+	return out
+}

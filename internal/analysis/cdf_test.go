@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDFInts([]int{1, 2, 2, 3, 9})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0.2},
+		{2, 0.6},
+		{2.5, 0.6},
+		{3, 0.8},
+		{9, 1},
+		{100, 1},
+	}
+	for _, tc := range tests {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.At(5) != 0 || c.Quantile(0.5) != 0 || c.N() != 0 {
+		t.Error("empty CDF misbehaves")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDFInts([]int{10, 20, 30, 40})
+	if q := c.Quantile(0); q != 10 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+	if q := c.Quantile(1); q != 40 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+	if q := c.Quantile(0.5); q != 30 {
+		t.Errorf("Quantile(0.5) = %v", q)
+	}
+}
+
+func TestCDFPropertiesMonotonic(t *testing.T) {
+	f := func(samples []float64, probes []float64) bool {
+		for i, s := range samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				samples[i] = 0
+			}
+		}
+		c := NewCDF(samples)
+		prev := -1.0
+		for _, x := range []float64{-1e9, -1, 0, 1, 1e9} {
+			v := c.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{Title: "test", XLabel: "hops", X: IntRange(1, 3)}
+	f.AddCDF("line-a", NewCDFInts([]int{1, 2, 3}))
+	f.AddLine("line-b", []float64{0.5, 0.6, 0.7})
+	var sb strings.Builder
+	f.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"# test", "hops", "line-a", "line-b", "0.3333", "0.5000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureAddLinePanicsOnMismatch(t *testing.T) {
+	f := &Figure{X: IntRange(1, 5)}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for mismatched series")
+		}
+	}()
+	f.AddLine("bad", []float64{1})
+}
+
+func TestIntRange(t *testing.T) {
+	got := IntRange(2, 4)
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("IntRange = %v", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := Describe([]float64{4, 1, 3, 2, 10})
+	if d.N != 5 || d.Min != 1 || d.Max != 10 {
+		t.Errorf("describe = %+v", d)
+	}
+	if d.Median != 3 {
+		t.Errorf("median = %v", d.Median)
+	}
+	if math.Abs(d.Mean-4) > 1e-9 {
+		t.Errorf("mean = %v", d.Mean)
+	}
+	if z := Describe(nil); z.N != 0 {
+		t.Errorf("empty describe = %+v", z)
+	}
+}

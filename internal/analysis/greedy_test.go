@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func set(addrs ...string) map[netip.Addr]bool {
+	m := make(map[netip.Addr]bool)
+	for _, s := range addrs {
+		m[a(s)] = true
+	}
+	return m
+}
+
+func TestGreedyCoverPicksLargestFirst(t *testing.T) {
+	cover := map[string]map[netip.Addr]bool{
+		"small": set("10.0.0.1"),
+		"big":   set("10.0.0.1", "10.0.0.2", "10.0.0.3"),
+		"mid":   set("10.0.0.4", "10.0.0.2"),
+	}
+	steps := GreedyCover(cover, 3)
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if steps[0].VP != "big" || steps[0].NewlyCovered != 3 {
+		t.Errorf("first pick %+v", steps[0])
+	}
+	// mid adds 10.0.0.4 (1 new); small adds nothing.
+	if steps[1].VP != "mid" || steps[1].NewlyCovered != 1 {
+		t.Errorf("second pick %+v", steps[1])
+	}
+	if steps[2].NewlyCovered != 0 {
+		t.Errorf("third pick %+v", steps[2])
+	}
+	if steps[2].TotalCovered != 4 {
+		t.Errorf("total covered %d", steps[2].TotalCovered)
+	}
+}
+
+func TestGreedyCoverDeterministicTies(t *testing.T) {
+	cover := map[string]map[netip.Addr]bool{
+		"zeta":  set("10.0.0.1"),
+		"alpha": set("10.0.0.2"),
+	}
+	for i := 0; i < 10; i++ {
+		steps := GreedyCover(cover, 1)
+		if steps[0].VP != "alpha" {
+			t.Fatalf("tie broken to %q, want alpha", steps[0].VP)
+		}
+	}
+}
+
+func TestGreedyCoverKBeyondSites(t *testing.T) {
+	cover := map[string]map[netip.Addr]bool{"only": set("10.0.0.1")}
+	steps := GreedyCover(cover, 10)
+	if len(steps) != 1 {
+		t.Errorf("steps = %d, want 1", len(steps))
+	}
+}
+
+func TestCoverageFromStats(t *testing.T) {
+	d1, d2 := a("10.0.0.1"), a("10.0.0.2")
+	stats := map[netip.Addr]*RRDestStat{
+		d1: {Addr: d1, SlotsByVP: map[string]int{"vp-a": 3, "vp-b": 9}},
+		d2: {Addr: d2, SlotsByVP: map[string]int{"vp-a": 0}},
+	}
+	cover := CoverageFromStats(stats, 8)
+	if !cover["vp-a"][d1] {
+		t.Error("vp-a should cover d1 at slot 3")
+	}
+	if cover["vp-b"][d1] {
+		t.Error("slot 9 exceeds maxSlot 8")
+	}
+	if cover["vp-a"][d2] {
+		t.Error("slot 0 (absent) counted as coverage")
+	}
+}

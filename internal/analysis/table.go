@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+)
+
+// DestInfo is the per-destination metadata Table 1 needs: which AS it
+// belongs to and that AS's classification, as read from the exported
+// datasets.
+type DestInfo struct {
+	Addr netip.Addr
+	ASN  int
+	Type string // "Transit/Access", "Enterprise", "Content", "Unknown"
+}
+
+// Table1Cell is one (population, ping-responsive, RR-responsive) triple.
+type Table1Cell struct {
+	Probed, PingResponsive, RRResponsive int
+}
+
+// RRRatio returns RR-responsive / ping-responsive, the paper's headline
+// 75% (by IP) and 82% (by AS).
+func (c Table1Cell) RRRatio() float64 {
+	if c.PingResponsive == 0 {
+		return 0
+	}
+	return float64(c.RRResponsive) / float64(c.PingResponsive)
+}
+
+// Table1 mirrors the paper's Table 1: response rates by IP and by AS,
+// total and per AS type.
+type Table1 struct {
+	Types []string // column order after Total
+	ByIP  map[string]Table1Cell
+	ByAS  map[string]Table1Cell
+}
+
+// TotalLabel is the first column's key.
+const TotalLabel = "Total"
+
+// BuildTable1 computes the table from destination metadata and the two
+// classifications.
+func BuildTable1(dests []DestInfo, pingResp map[netip.Addr]bool, rrResp map[netip.Addr]bool) *Table1 {
+	t := &Table1{
+		ByIP: make(map[string]Table1Cell),
+		ByAS: make(map[string]Table1Cell),
+	}
+	typeSet := map[string]bool{}
+	asType := map[int]string{}
+	asPing := map[int]bool{}
+	asRR := map[int]bool{}
+	for _, d := range dests {
+		typeSet[d.Type] = true
+		for _, label := range []string{TotalLabel, d.Type} {
+			c := t.ByIP[label]
+			c.Probed++
+			if pingResp[d.Addr] {
+				c.PingResponsive++
+			}
+			if rrResp[d.Addr] {
+				c.RRResponsive++
+			}
+			t.ByIP[label] = c
+		}
+		asType[d.ASN] = d.Type
+		if pingResp[d.Addr] {
+			asPing[d.ASN] = true
+		}
+		if rrResp[d.Addr] {
+			asRR[d.ASN] = true
+		}
+	}
+	for asn, typ := range asType {
+		for _, label := range []string{TotalLabel, typ} {
+			c := t.ByAS[label]
+			c.Probed++
+			if asPing[asn] {
+				c.PingResponsive++
+			}
+			if asRR[asn] {
+				c.RRResponsive++
+			}
+			t.ByAS[label] = c
+		}
+	}
+	for typ := range typeSet {
+		t.Types = append(t.Types, typ)
+	}
+	sort.Strings(t.Types)
+	return t
+}
+
+// Render writes the table in the paper's layout (counts with per-column
+// percentages of the probed population).
+func (t *Table1) Render(w io.Writer) {
+	cols := append([]string{TotalLabel}, t.Types...)
+	render := func(title string, cells map[string]Table1Cell) {
+		fmt.Fprintf(w, "%-18s", title)
+		for _, c := range cols {
+			fmt.Fprintf(w, " %22s", c)
+		}
+		fmt.Fprintln(w)
+		rows := []struct {
+			name string
+			get  func(Table1Cell) int
+		}{
+			{"All Probed", func(c Table1Cell) int { return c.Probed }},
+			{"Ping Responsive", func(c Table1Cell) int { return c.PingResponsive }},
+			{"RR-Responsive", func(c Table1Cell) int { return c.RRResponsive }},
+		}
+		for _, row := range rows {
+			fmt.Fprintf(w, "%-18s", row.name)
+			for _, col := range cols {
+				cell := cells[col]
+				v := row.get(cell)
+				pct := 0.0
+				if cell.Probed > 0 {
+					pct = 100 * float64(v) / float64(cell.Probed)
+				}
+				fmt.Fprintf(w, " %12d (%5.1f%%)", v, pct)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	render("By IP", t.ByIP)
+	fmt.Fprintln(w)
+	render("By AS", t.ByAS)
+}

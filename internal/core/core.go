@@ -1,0 +1,162 @@
+// Package core defines the paper's primary contribution as an
+// operational artifact: the §3.1 measurement methodology that decides,
+// from raw probe results, whether a destination is ping-responsive,
+// RR-responsive, RR-reachable, and usable for reverse-path measurement.
+// Every higher layer (analysis aggregation, the study harness, the
+// public facade) applies these rules; this package is their single
+// authoritative statement.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+
+	"recordroute/internal/probe"
+)
+
+// The Record Route option's structural limits (RFC 791), which the
+// paper's methodology revolves around.
+const (
+	// NineHopLimit is the option's slot capacity: a destination farther
+	// than nine stamping hops from every vantage point cannot appear in
+	// any RR header.
+	NineHopLimit = 9
+	// ReversePathLimit is the slot budget left for the destination's
+	// own stamp while still recording at least one reverse hop — the
+	// §3.3 criterion for measuring reverse paths (Reverse Traceroute).
+	ReversePathLimit = 8
+)
+
+// Class is a destination's §3.1 classification.
+type Class int
+
+const (
+	// Unresponsive answered nothing.
+	Unresponsive Class = iota
+	// PingResponsive answered a plain ping but no ping-RR.
+	PingResponsive
+	// RRResponsive answered a ping-RR with the option copied into the
+	// reply, but never appeared within the nine slots.
+	RRResponsive
+	// RRReachable appeared in an RR header within nine slots of some
+	// vantage point.
+	RRReachable
+	// ReverseMeasurable appeared within eight slots: its reverse path
+	// toward a vantage point is measurable.
+	ReverseMeasurable
+)
+
+// String names the classification.
+func (c Class) String() string {
+	switch c {
+	case Unresponsive:
+		return "unresponsive"
+	case PingResponsive:
+		return "ping-responsive"
+	case RRResponsive:
+		return "rr-responsive"
+	case RRReachable:
+		return "rr-reachable"
+	case ReverseMeasurable:
+		return "reverse-measurable"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// AtLeast reports whether c satisfies the threshold class q (the
+// classes are ordered: each level implies the previous ones, except
+// that ping- and RR-responsiveness are measured by different probes;
+// per §3.2, 75% of ping-responsive destinations are also RR-responsive).
+func (c Class) AtLeast(q Class) bool { return c >= q }
+
+// Verdict is a destination's full classification with its evidence.
+type Verdict struct {
+	Dst   netip.Addr
+	Class Class
+	// BestSlot is the smallest 1-based RR slot the destination (or a
+	// known alias) occupied across all results; 0 when never recorded.
+	BestSlot int
+	// FalseNegativeSignal marks responses whose option had free slots
+	// yet no destination stamp — the §3.3 signature worth re-testing
+	// with alias resolution or ping-RRudp.
+	FalseNegativeSignal bool
+}
+
+// Classify applies the §3.1 rules to one destination's probe results
+// (any mix of plain pings, ping-RRs, and ping-RRudps from any number of
+// vantage points). aliasOf maps addresses to their alias-set
+// representative; nil means no alias knowledge.
+func Classify(dst netip.Addr, results []probe.Result, aliasOf func(netip.Addr) netip.Addr) Verdict {
+	if aliasOf == nil {
+		aliasOf = func(a netip.Addr) netip.Addr { return a }
+	}
+	v := Verdict{Dst: dst}
+	canon := aliasOf(dst)
+
+	pingResp, rrResp := false, false
+	for _, r := range results {
+		if aliasOf(r.Dst) != canon {
+			continue
+		}
+		switch r.Kind {
+		case probe.Ping, probe.TTLPing:
+			if r.Type == probe.EchoReply {
+				pingResp = true
+			}
+		case probe.PingRR, probe.TTLPingRR:
+			if r.Type != probe.EchoReply {
+				continue
+			}
+			// Replying to a ping implies ping-responsiveness even when
+			// the probe carried an option.
+			pingResp = true
+			if !r.HasRR {
+				continue // option stripped from the reply: not RR-responsive
+			}
+			rrResp = true
+			slot := destSlot(r, canon, aliasOf)
+			if slot == 0 && r.RRSlotsRemaining() > 0 {
+				v.FalseNegativeSignal = true
+			}
+			if slot > 0 && (v.BestSlot == 0 || slot < v.BestSlot) {
+				v.BestSlot = slot
+			}
+		case probe.PingRRUDP:
+			// A port-unreachable whose quoted option still had room
+			// proves arrival within the slot limit (§3.3): credit the
+			// slot the destination's stamp would have taken.
+			if r.Type != probe.PortUnreachable || !r.HasRR || r.RRSlotsRemaining() <= 0 {
+				continue
+			}
+			if slot := len(r.RR) + 1; v.BestSlot == 0 || slot < v.BestSlot {
+				v.BestSlot = slot
+			}
+		}
+	}
+
+	switch {
+	case v.BestSlot > 0 && v.BestSlot <= ReversePathLimit:
+		v.Class = ReverseMeasurable
+	case v.BestSlot > 0 && v.BestSlot <= NineHopLimit:
+		v.Class = RRReachable
+	case rrResp:
+		v.Class = RRResponsive
+	case pingResp:
+		v.Class = PingResponsive
+	default:
+		v.Class = Unresponsive
+	}
+	return v
+}
+
+// destSlot returns the 1-based slot where the destination (or an alias)
+// was recorded, or 0.
+func destSlot(r probe.Result, canon netip.Addr, aliasOf func(netip.Addr) netip.Addr) int {
+	for i, h := range r.RR {
+		if aliasOf(h) == canon {
+			return i + 1
+		}
+	}
+	return 0
+}

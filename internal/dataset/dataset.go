@@ -1,0 +1,246 @@
+// Package dataset provides the study's input datasets in exportable,
+// re-parseable text formats mirroring the originals: an advertised-
+// prefix table with origin ASes (RouteViews RIB-derived), a one-address-
+// per-prefix hitlist (Fan & Heidemann style), and an AS classification
+// (CAIDA as2types style). The analysis layer consumes these datasets —
+// not topology internals — exactly as the paper's pipeline consumed
+// RouteViews and CAIDA files.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"recordroute/internal/analysis"
+	"recordroute/internal/topology"
+)
+
+// PrefixEntry is one advertised prefix and its origin AS.
+type PrefixEntry struct {
+	Prefix netip.Prefix
+	ASN    int
+}
+
+// HitlistEntry is the representative probe target for one prefix.
+type HitlistEntry struct {
+	Prefix netip.Prefix
+	Addr   netip.Addr
+}
+
+// Dataset bundles the study inputs.
+type Dataset struct {
+	// Prefixes is the advertised-prefix table, sorted by prefix.
+	Prefixes []PrefixEntry
+	// Hitlist holds one representative address per prefix.
+	Hitlist []HitlistEntry
+	// ASType maps origin ASNs to classification labels.
+	ASType map[int]string
+
+	// lookup index built lazily by OriginASN.
+	byLen   map[int]map[netip.Prefix]int
+	lengths []int
+}
+
+// FromTopology extracts the datasets a real study would download.
+func FromTopology(t *topology.Topology) *Dataset {
+	d := &Dataset{ASType: make(map[int]string)}
+	for _, dest := range t.Dests {
+		asn := t.ASes[dest.ASIdx].ASN
+		d.Prefixes = append(d.Prefixes, PrefixEntry{Prefix: dest.Prefix, ASN: asn})
+		d.Hitlist = append(d.Hitlist, HitlistEntry{Prefix: dest.Prefix, Addr: dest.Addr})
+	}
+	for _, as := range t.ASes {
+		d.ASType[as.ASN] = as.Type().String()
+	}
+	sortDataset(d)
+	return d
+}
+
+func sortDataset(d *Dataset) {
+	sort.Slice(d.Prefixes, func(i, j int) bool {
+		return d.Prefixes[i].Prefix.Addr().Less(d.Prefixes[j].Prefix.Addr())
+	})
+	sort.Slice(d.Hitlist, func(i, j int) bool {
+		return d.Hitlist[i].Addr.Less(d.Hitlist[j].Addr)
+	})
+}
+
+// OriginASN returns the origin AS for an address using longest known
+// prefix containment, or -1. Lookups are indexed by prefix length, so
+// repeated calls stay cheap on large tables.
+func (d *Dataset) OriginASN(a netip.Addr) int {
+	if d.byLen == nil {
+		d.byLen = make(map[int]map[netip.Prefix]int)
+		for _, p := range d.Prefixes {
+			m := d.byLen[p.Prefix.Bits()]
+			if m == nil {
+				m = make(map[netip.Prefix]int)
+				d.byLen[p.Prefix.Bits()] = m
+			}
+			m[p.Prefix.Masked()] = p.ASN
+			d.lengths = appendUniqueDesc(d.lengths, p.Prefix.Bits())
+		}
+	}
+	for _, bits := range d.lengths {
+		p, err := a.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if asn, ok := d.byLen[bits][p]; ok {
+			return asn
+		}
+	}
+	return -1
+}
+
+// appendUniqueDesc inserts v into a descending-sorted unique slice.
+func appendUniqueDesc(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return s
+		}
+		if x < v {
+			s = append(s, 0)
+			copy(s[i+1:], s[i:])
+			s[i] = v
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// DestInfos adapts the dataset for Table 1 construction.
+func (d *Dataset) DestInfos() []analysis.DestInfo {
+	prefixASN := make(map[netip.Prefix]int, len(d.Prefixes))
+	for _, p := range d.Prefixes {
+		prefixASN[p.Prefix] = p.ASN
+	}
+	out := make([]analysis.DestInfo, 0, len(d.Hitlist))
+	for _, h := range d.Hitlist {
+		asn := prefixASN[h.Prefix]
+		typ := d.ASType[asn]
+		if typ == "" {
+			typ = topology.TypeUnknown.String()
+		}
+		out = append(out, analysis.DestInfo{Addr: h.Addr, ASN: asn, Type: typ})
+	}
+	return out
+}
+
+// Addrs returns every hitlist address in order.
+func (d *Dataset) Addrs() []netip.Addr {
+	out := make([]netip.Addr, len(d.Hitlist))
+	for i, h := range d.Hitlist {
+		out[i] = h.Addr
+	}
+	return out
+}
+
+// WritePrefixes emits the prefix table, one "prefix|asn" per line.
+func (d *Dataset) WritePrefixes(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# format: prefix|origin_asn")
+	for _, p := range d.Prefixes {
+		fmt.Fprintf(bw, "%s|%d\n", p.Prefix, p.ASN)
+	}
+	return bw.Flush()
+}
+
+// WriteHitlist emits "prefix|addr" lines.
+func (d *Dataset) WriteHitlist(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# format: prefix|representative_addr")
+	for _, h := range d.Hitlist {
+		fmt.Fprintf(bw, "%s|%s\n", h.Prefix, h.Addr)
+	}
+	return bw.Flush()
+}
+
+// WriteASTypes emits CAIDA as2types-style "asn|source|type" lines.
+func (d *Dataset) WriteASTypes(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# format: as|source|type")
+	asns := make([]int, 0, len(d.ASType))
+	for asn := range d.ASType {
+		asns = append(asns, asn)
+	}
+	sort.Ints(asns)
+	for _, asn := range asns {
+		fmt.Fprintf(bw, "%d|sim_class|%s\n", asn, d.ASType[asn])
+	}
+	return bw.Flush()
+}
+
+// Read parses all three tables back from their respective readers.
+func Read(prefixes, hitlist, astypes io.Reader) (*Dataset, error) {
+	d := &Dataset{ASType: make(map[int]string)}
+	if err := eachLine(prefixes, func(fields []string) error {
+		if len(fields) != 2 {
+			return fmt.Errorf("dataset: prefix row has %d fields", len(fields))
+		}
+		p, err := netip.ParsePrefix(fields[0])
+		if err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		asn, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("dataset: bad asn %q", fields[1])
+		}
+		d.Prefixes = append(d.Prefixes, PrefixEntry{Prefix: p, ASN: asn})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := eachLine(hitlist, func(fields []string) error {
+		if len(fields) != 2 {
+			return fmt.Errorf("dataset: hitlist row has %d fields", len(fields))
+		}
+		p, err := netip.ParsePrefix(fields[0])
+		if err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		a, err := netip.ParseAddr(fields[1])
+		if err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		d.Hitlist = append(d.Hitlist, HitlistEntry{Prefix: p, Addr: a})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := eachLine(astypes, func(fields []string) error {
+		if len(fields) != 3 {
+			return fmt.Errorf("dataset: astype row has %d fields", len(fields))
+		}
+		asn, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("dataset: bad asn %q", fields[0])
+		}
+		d.ASType[asn] = fields[2]
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sortDataset(d)
+	return d, nil
+}
+
+// eachLine feeds non-comment, non-blank pipe-separated rows to fn.
+func eachLine(r io.Reader, fn func(fields []string) error) error {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := fn(strings.Split(line, "|")); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

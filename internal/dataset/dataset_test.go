@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"recordroute/internal/topology"
+)
+
+func build(t *testing.T) (*topology.Topology, *Dataset) {
+	t.Helper()
+	topo := topology.MustBuild(topology.DefaultConfig(topology.Epoch2016).Scale(0.15))
+	return topo, FromTopology(topo)
+}
+
+func TestFromTopologyCoversEveryDest(t *testing.T) {
+	topo, d := build(t)
+	if len(d.Prefixes) != len(topo.Dests) || len(d.Hitlist) != len(topo.Dests) {
+		t.Fatalf("prefixes=%d hitlist=%d dests=%d", len(d.Prefixes), len(d.Hitlist), len(topo.Dests))
+	}
+	for _, h := range d.Hitlist {
+		if !h.Prefix.Contains(h.Addr) {
+			t.Errorf("hitlist addr %v outside %v", h.Addr, h.Prefix)
+		}
+	}
+	// Origin lookup agrees with topology ground truth.
+	for _, dest := range topo.Dests[:20] {
+		if got, want := d.OriginASN(dest.Addr), topo.ASes[dest.ASIdx].ASN; got != want {
+			t.Errorf("OriginASN(%v) = %d, want %d", dest.Addr, got, want)
+		}
+	}
+}
+
+func TestDestInfosTypesMatchTopology(t *testing.T) {
+	topo, d := build(t)
+	infos := d.DestInfos()
+	if len(infos) != len(topo.Dests) {
+		t.Fatalf("infos = %d", len(infos))
+	}
+	byAddr := make(map[netip.Addr]string)
+	for _, dest := range topo.Dests {
+		byAddr[dest.Addr] = topo.ASes[dest.ASIdx].Type().String()
+	}
+	for _, info := range infos {
+		if byAddr[info.Addr] != info.Type {
+			t.Errorf("%v typed %q, want %q", info.Addr, info.Type, byAddr[info.Addr])
+		}
+	}
+}
+
+func TestRoundTripThroughTextFormats(t *testing.T) {
+	_, d := build(t)
+	var pfx, hit, ast bytes.Buffer
+	if err := d.WritePrefixes(&pfx); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteHitlist(&hit); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteASTypes(&ast); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&pfx, &hit, &ast)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(back.Prefixes) != len(d.Prefixes) || len(back.Hitlist) != len(d.Hitlist) {
+		t.Fatalf("round trip sizes: %d/%d vs %d/%d",
+			len(back.Prefixes), len(back.Hitlist), len(d.Prefixes), len(d.Hitlist))
+	}
+	for i := range d.Prefixes {
+		if back.Prefixes[i] != d.Prefixes[i] {
+			t.Fatalf("prefix %d: %v vs %v", i, back.Prefixes[i], d.Prefixes[i])
+		}
+	}
+	for asn, typ := range d.ASType {
+		if back.ASType[asn] != typ {
+			t.Errorf("asn %d type %q vs %q", asn, back.ASType[asn], typ)
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	good := strings.NewReader("")
+	if _, err := Read(strings.NewReader("10.0.0.0/8"), good, good); err == nil {
+		t.Error("accepted prefix row without asn")
+	}
+	if _, err := Read(strings.NewReader("not-a-prefix|5"), strings.NewReader(""), strings.NewReader("")); err == nil {
+		t.Error("accepted bad prefix")
+	}
+	if _, err := Read(strings.NewReader(""), strings.NewReader(""), strings.NewReader("x|y")); err == nil {
+		t.Error("accepted bad astype row")
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	pfx := strings.NewReader("# comment\n\n10.0.0.0/24|7\n")
+	hit := strings.NewReader("10.0.0.0/24|10.0.0.1\n")
+	ast := strings.NewReader("7|sim_class|Content\n")
+	d, err := Read(pfx, hit, ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Prefixes) != 1 || d.ASType[7] != "Content" {
+		t.Errorf("parsed %+v", d)
+	}
+}

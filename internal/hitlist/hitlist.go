@@ -1,0 +1,116 @@
+// Package hitlist discovers one responsive representative address per
+// advertised prefix, the role Fan & Heidemann's history-based hitlist
+// (IMC 2010) plays for the paper's destination selection: "the address
+// that was most responsive to previous ping probes".
+//
+// Discovery sweeps a small set of candidate last-octets per prefix with
+// plain pings and selects the first responder (candidates are ordered
+// by how commonly hosts sit at them). Prefixes with no responder are
+// reported unresponsive but still carry a fallback representative so
+// studies can probe them (the paper probed one address per prefix
+// regardless).
+package hitlist
+
+import (
+	"net/netip"
+	"time"
+
+	"recordroute/internal/probe"
+)
+
+// Entry is one prefix's discovery outcome.
+type Entry struct {
+	Prefix netip.Prefix
+	// Addr is the chosen representative: the first responsive candidate,
+	// or the first candidate when none responded.
+	Addr netip.Addr
+	// Responsive reports whether any candidate answered.
+	Responsive bool
+	// Probes counts the candidates tried.
+	Probes int
+}
+
+// Options tunes discovery.
+type Options struct {
+	// Candidates are the last octets to try, in preference order.
+	// Empty means the conventional {1, 2, 10, 33, 50, 100, 200, 254}.
+	Candidates []uint8
+	// Rate is the probing rate in packets per second; 0 means 100.
+	Rate float64
+	// Timeout is the per-probe wait; 0 means the prober default.
+	Timeout time.Duration
+}
+
+func (o Options) candidates() []uint8 {
+	if len(o.Candidates) == 0 {
+		return []uint8{1, 2, 10, 33, 50, 100, 200, 254}
+	}
+	return o.Candidates
+}
+
+func (o Options) rate() float64 {
+	if o.Rate <= 0 {
+		return 100
+	}
+	return o.Rate
+}
+
+// candidateAddr substitutes the last octet of a /24-or-wider prefix's
+// network address.
+func candidateAddr(p netip.Prefix, octet uint8) netip.Addr {
+	b := p.Masked().Addr().As4()
+	b[3] = octet
+	return netip.AddrFrom4(b)
+}
+
+// Discover sweeps the prefixes and calls done with one entry per
+// prefix, in input order. Each prefix's candidates are tried
+// sequentially (stopping at the first responder); prefixes proceed
+// concurrently under the prober's pacing.
+func Discover(p *probe.Prober, prefixes []netip.Prefix, opts Options, done func([]Entry)) {
+	if len(prefixes) == 0 {
+		p.Schedule(0, func() { done(nil) })
+		return
+	}
+	cands := opts.candidates()
+	entries := make([]Entry, len(prefixes))
+	remaining := len(prefixes)
+	interval := time.Duration(float64(time.Second) / opts.rate())
+
+	var tryNext func(i, c int)
+	tryNext = func(i, c int) {
+		addr := candidateAddr(prefixes[i], cands[c])
+		p.StartOne(probe.Spec{Dst: addr, Kind: probe.Ping}, opts.Timeout, func(r probe.Result) {
+			entries[i].Probes++
+			if r.Type == probe.EchoReply {
+				entries[i].Addr = addr
+				entries[i].Responsive = true
+			} else if c+1 < len(cands) {
+				tryNext(i, c+1)
+				return
+			} else {
+				entries[i].Addr = candidateAddr(prefixes[i], cands[0])
+			}
+			remaining--
+			if remaining == 0 {
+				done(entries)
+			}
+		})
+	}
+	for i, pfx := range prefixes {
+		i := i
+		entries[i].Prefix = pfx
+		p.Schedule(time.Duration(i)*interval, func() { tryNext(i, 0) })
+	}
+}
+
+// Responsive filters entries to the responsive representatives.
+func Responsive(entries []Entry) []Entry {
+	var out []Entry
+	for _, e := range entries {
+		if e.Responsive {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package hitlist
+
+import (
+	"net/netip"
+	"testing"
+
+	"recordroute/internal/probe"
+	"recordroute/internal/topology"
+)
+
+func TestCandidateAddr(t *testing.T) {
+	p := netip.MustParsePrefix("100.7.3.0/24")
+	if got := candidateAddr(p, 254); got != netip.MustParseAddr("100.7.3.254") {
+		t.Errorf("candidateAddr = %v", got)
+	}
+	// Non-canonical prefix input is masked first.
+	q := netip.PrefixFrom(netip.MustParseAddr("100.7.3.77"), 24)
+	if got := candidateAddr(q, 1); got != netip.MustParseAddr("100.7.3.1") {
+		t.Errorf("candidateAddr (unmasked input) = %v", got)
+	}
+}
+
+// TestDiscoverAgainstSim runs hitlist discovery against a generated
+// Internet and compares the outcome with ground truth: every prefix
+// whose host is ping-responsive (at a swept octet) must be discovered
+// at exactly the host's address.
+func TestDiscoverAgainstSim(t *testing.T) {
+	topo := topology.MustBuild(topology.DefaultConfig(topology.Epoch2016).Scale(0.15))
+	var vp *topology.VP
+	for _, v := range topo.VPs {
+		if !v.SourceRateLimited {
+			vp = v
+			break
+		}
+	}
+	p := probe.New(probe.NewSimTransport(vp.Host, topo.Net.Engine()), 0x6200)
+
+	var prefixes []netip.Prefix
+	byPrefix := make(map[netip.Prefix]*topology.Dest)
+	for _, d := range topo.Dests[:200] {
+		prefixes = append(prefixes, d.Prefix)
+		byPrefix[d.Prefix] = d
+	}
+
+	var entries []Entry
+	Discover(p, prefixes, Options{Rate: 2000}, func(es []Entry) { entries = es })
+	topo.Net.Engine().Run()
+
+	if len(entries) != len(prefixes) {
+		t.Fatalf("entries = %d, want %d", len(entries), len(prefixes))
+	}
+	foundResponsive := 0
+	for _, e := range entries {
+		d := byPrefix[e.Prefix]
+		if d.GTPingResponsive {
+			if !e.Responsive {
+				t.Errorf("prefix %v: responsive host %v not discovered", e.Prefix, d.Addr)
+				continue
+			}
+			if e.Addr != d.Addr {
+				t.Errorf("prefix %v: discovered %v, host is %v", e.Prefix, e.Addr, d.Addr)
+			}
+			foundResponsive++
+		} else {
+			if e.Responsive {
+				t.Errorf("prefix %v: discovery found a responder where none lives", e.Prefix)
+			}
+			if !e.Addr.IsValid() {
+				t.Errorf("prefix %v: no fallback representative", e.Prefix)
+			}
+		}
+	}
+	if foundResponsive == 0 {
+		t.Fatal("no responsive prefixes in sample")
+	}
+	t.Logf("discovered %d responsive representatives of %d prefixes", foundResponsive, len(prefixes))
+}
+
+func TestDiscoverEmpty(t *testing.T) {
+	topo := topology.MustBuild(topology.DefaultConfig(topology.Epoch2016).Scale(0.15))
+	p := probe.New(probe.NewSimTransport(topo.VPs[0].Host, topo.Net.Engine()), 0x6201)
+	called := false
+	Discover(p, nil, Options{}, func(es []Entry) { called = es == nil })
+	topo.Net.Engine().Run()
+	if !called {
+		t.Error("done not called for empty input")
+	}
+}
+
+func TestResponsiveFilter(t *testing.T) {
+	es := []Entry{{Responsive: true}, {Responsive: false}, {Responsive: true}}
+	if got := len(Responsive(es)); got != 2 {
+		t.Errorf("Responsive = %d entries", got)
+	}
+}

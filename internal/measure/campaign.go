@@ -1,0 +1,125 @@
+package measure
+
+import (
+	"net/netip"
+
+	"recordroute/internal/netsim"
+	"recordroute/internal/probe"
+	"recordroute/internal/topology"
+)
+
+// Campaign fans measurements across many vantage points concurrently
+// inside one simulation engine, offering synchronous collect-all APIs:
+// every VP's batch is started, the engine runs to quiescence, and the
+// per-VP results come back keyed by VP name.
+type Campaign struct {
+	Eng *netsim.Engine
+	VPs []*VantagePoint
+}
+
+// NewCampaign builds a campaign over the given topology VPs (any mix of
+// platform and cloud VPs). Prober identifiers are assigned sequentially
+// so no two VPs cross-match.
+func NewCampaign(topo *topology.Topology, vps []*topology.VP) *Campaign {
+	c := &Campaign{Eng: topo.Net.Engine()}
+	for i, v := range vps {
+		c.VPs = append(c.VPs, NewVantagePoint(v.Name, v.Host, topo.Net.Engine(), uint16(0x4000+i)))
+	}
+	return c
+}
+
+// VP returns the named vantage point, or nil.
+func (c *Campaign) VP(name string) *VantagePoint {
+	for _, vp := range c.VPs {
+		if vp.Name == name {
+			return vp
+		}
+	}
+	return nil
+}
+
+// PingRRAll sends one ping-RR from every VP to every destination in
+// dests (per-VP order may be permuted via orderFor) and returns results
+// keyed by VP name, in that VP's send order.
+func (c *Campaign) PingRRAll(dests []netip.Addr, opts probe.Options, orderFor func(vp string, dests []netip.Addr) []netip.Addr) map[string][]probe.Result {
+	out := make(map[string][]probe.Result, len(c.VPs))
+	for _, vp := range c.VPs {
+		vp := vp
+		ds := dests
+		if orderFor != nil {
+			ds = orderFor(vp.Name, dests)
+		}
+		vp.PingRRBatch(ds, opts, func(rs []probe.Result) { out[vp.Name] = rs })
+	}
+	c.Eng.Run()
+	return out
+}
+
+// PingAll sends count plain pings per destination from every VP.
+func (c *Campaign) PingAll(dests []netip.Addr, count int, opts probe.Options) map[string][][]probe.Result {
+	out := make(map[string][][]probe.Result, len(c.VPs))
+	for _, vp := range c.VPs {
+		vp := vp
+		vp.PingBatch(dests, count, opts, func(rs [][]probe.Result) { out[vp.Name] = rs })
+	}
+	c.Eng.Run()
+	return out
+}
+
+// PingRRUDPAll sends one ping-RRudp from every VP to its listed targets.
+func (c *Campaign) PingRRUDPAll(perVP map[string][]netip.Addr, opts probe.Options) map[string][]probe.Result {
+	out := make(map[string][]probe.Result, len(c.VPs))
+	for _, vp := range c.VPs {
+		vp := vp
+		ds := perVP[vp.Name]
+		if len(ds) == 0 {
+			continue
+		}
+		vp.PingRRUDPBatch(ds, opts, func(rs []probe.Result) { out[vp.Name] = rs })
+	}
+	c.Eng.Run()
+	return out
+}
+
+// PingTSAll sends one Internet Timestamp probe from every VP to every
+// destination.
+func (c *Campaign) PingTSAll(dests []netip.Addr, opts probe.Options) map[string][]probe.Result {
+	out := make(map[string][]probe.Result, len(c.VPs))
+	for _, vp := range c.VPs {
+		vp := vp
+		vp.PingTSBatch(dests, opts, func(rs []probe.Result) { out[vp.Name] = rs })
+	}
+	c.Eng.Run()
+	return out
+}
+
+// TracerouteAll traces each VP's listed targets.
+func (c *Campaign) TracerouteAll(perVP map[string][]netip.Addr, opts TraceOptions) map[string][]Trace {
+	out := make(map[string][]Trace, len(c.VPs))
+	for _, vp := range c.VPs {
+		vp := vp
+		ds := perVP[vp.Name]
+		if len(ds) == 0 {
+			continue
+		}
+		vp.TracerouteBatch(ds, opts, func(ts []Trace) { out[vp.Name] = ts })
+	}
+	c.Eng.Run()
+	return out
+}
+
+// TTLPingRRAll sends TTL-limited ping-RRs: per VP, targets[i] probed
+// with ttls[i].
+func (c *Campaign) TTLPingRRAll(perVP map[string][]netip.Addr, ttls map[string][]uint8, opts probe.Options) map[string][]probe.Result {
+	out := make(map[string][]probe.Result, len(c.VPs))
+	for _, vp := range c.VPs {
+		vp := vp
+		ds := perVP[vp.Name]
+		if len(ds) == 0 {
+			continue
+		}
+		vp.TTLPingRRBatch(ds, ttls[vp.Name], opts, func(rs []probe.Result) { out[vp.Name] = rs })
+	}
+	c.Eng.Run()
+	return out
+}

@@ -1,0 +1,91 @@
+// Package measure implements the study's measurement primitives on top
+// of the probe engine: ping, ping-RR, ping-RRudp, TTL-limited ping-RR,
+// and traceroute, issued per vantage point, plus campaign helpers that
+// fan a batch across every vantage point concurrently inside one
+// simulation engine run.
+package measure
+
+import (
+	"fmt"
+	"net/netip"
+
+	"recordroute/internal/netsim"
+	"recordroute/internal/probe"
+)
+
+// VantagePoint couples a named measurement source with its prober.
+type VantagePoint struct {
+	// Name identifies the VP in results (e.g. "mlab-3").
+	Name string
+	// Prober sends and matches this VP's probes.
+	Prober *probe.Prober
+}
+
+// NewVantagePoint wires a prober to a simulated host. id must be unique
+// per VP so replies never cross-match.
+func NewVantagePoint(name string, host *netsim.Host, eng *netsim.Engine, id uint16) *VantagePoint {
+	return &VantagePoint{
+		Name:   name,
+		Prober: probe.New(probe.NewSimTransport(host, eng), id),
+	}
+}
+
+// specsFor expands destinations into probe specs of one kind.
+func specsFor(dsts []netip.Addr, kind probe.Kind) []probe.Spec {
+	specs := make([]probe.Spec, len(dsts))
+	for i, d := range dsts {
+		specs[i] = probe.Spec{Dst: d, Kind: kind}
+	}
+	return specs
+}
+
+// PingBatch sends count plain pings to every destination (the paper's
+// responsiveness study sent three) and reports all results, grouped
+// per destination in send order.
+func (vp *VantagePoint) PingBatch(dsts []netip.Addr, count int, opts probe.Options, done func([][]probe.Result)) {
+	if count < 1 {
+		count = 1
+	}
+	var specs []probe.Spec
+	for r := 0; r < count; r++ {
+		specs = append(specs, specsFor(dsts, probe.Ping)...)
+	}
+	vp.Prober.StartBatch(specs, opts, func(rs []probe.Result) {
+		grouped := make([][]probe.Result, len(dsts))
+		for i := range dsts {
+			for r := 0; r < count; r++ {
+				grouped[i] = append(grouped[i], rs[r*len(dsts)+i])
+			}
+		}
+		done(grouped)
+	})
+}
+
+// PingRRBatch sends one ping-RR to every destination.
+func (vp *VantagePoint) PingRRBatch(dsts []netip.Addr, opts probe.Options, done func([]probe.Result)) {
+	vp.Prober.StartBatch(specsFor(dsts, probe.PingRR), opts, done)
+}
+
+// PingRRUDPBatch sends one ping-RRudp to every destination (§3.3's
+// reclassification probe).
+func (vp *VantagePoint) PingRRUDPBatch(dsts []netip.Addr, opts probe.Options, done func([]probe.Result)) {
+	vp.Prober.StartBatch(specsFor(dsts, probe.PingRRUDP), opts, done)
+}
+
+// PingTSBatch sends one Internet Timestamp probe to every destination.
+func (vp *VantagePoint) PingTSBatch(dsts []netip.Addr, opts probe.Options, done func([]probe.Result)) {
+	vp.Prober.StartBatch(specsFor(dsts, probe.PingTS), opts, done)
+}
+
+// TTLPingRRBatch sends ping-RRs with per-destination initial TTLs
+// (§4.2's low-impact probing). ttls[i] applies to dsts[i].
+func (vp *VantagePoint) TTLPingRRBatch(dsts []netip.Addr, ttls []uint8, opts probe.Options, done func([]probe.Result)) {
+	if len(ttls) != len(dsts) {
+		panic(fmt.Sprintf("measure: %d TTLs for %d destinations", len(ttls), len(dsts)))
+	}
+	specs := make([]probe.Spec, len(dsts))
+	for i, d := range dsts {
+		specs[i] = probe.Spec{Dst: d, Kind: probe.TTLPingRR, TTL: ttls[i]}
+	}
+	vp.Prober.StartBatch(specs, opts, done)
+}

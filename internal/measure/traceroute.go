@@ -1,0 +1,147 @@
+package measure
+
+import (
+	"net/netip"
+	"time"
+
+	"recordroute/internal/probe"
+)
+
+// TraceOptions controls traceroute behaviour.
+type TraceOptions struct {
+	// MaxTTL bounds the probed hop count; 0 means 30.
+	MaxTTL uint8
+	// GapLimit stops a trace after this many consecutive silent hops;
+	// 0 means 4.
+	GapLimit int
+	// Timeout is the per-probe wait; 0 means the prober default.
+	Timeout time.Duration
+	// StartRate is how many new destination traces begin per second;
+	// 0 means 20. Probes within one trace are sequential.
+	StartRate float64
+}
+
+func (o TraceOptions) maxTTL() uint8 {
+	if o.MaxTTL == 0 {
+		return 30
+	}
+	return o.MaxTTL
+}
+
+func (o TraceOptions) gapLimit() int {
+	if o.GapLimit == 0 {
+		return 4
+	}
+	return o.GapLimit
+}
+
+func (o TraceOptions) startRate() float64 {
+	if o.StartRate <= 0 {
+		return 20
+	}
+	return o.StartRate
+}
+
+// TraceHop is one traceroute step.
+type TraceHop struct {
+	// TTL is the probe's initial TTL.
+	TTL uint8
+	// Addr is the responding address; invalid on silence.
+	Addr netip.Addr
+	// RTT is the probe round-trip time (zero on silence).
+	RTT time.Duration
+	// Final marks the echo reply from the destination itself.
+	Final bool
+}
+
+// Responded reports whether this hop answered.
+func (h TraceHop) Responded() bool { return h.Addr.IsValid() }
+
+// Trace is a completed traceroute.
+type Trace struct {
+	VP   string
+	Dst  netip.Addr
+	Hops []TraceHop
+	// Reached reports whether the destination replied.
+	Reached bool
+	// DestTTL is the hop count at which the destination replied
+	// (0 when unreached).
+	DestTTL uint8
+}
+
+// HopAddrs returns the responding hop addresses in order, excluding
+// silent hops and the destination's own reply.
+func (t Trace) HopAddrs() []netip.Addr {
+	var out []netip.Addr
+	for _, h := range t.Hops {
+		if h.Responded() && !h.Final {
+			out = append(out, h.Addr)
+		}
+	}
+	return out
+}
+
+// Traceroute runs a single traceroute and calls done with the result.
+func (vp *VantagePoint) Traceroute(dst netip.Addr, opts TraceOptions, done func(Trace)) {
+	tr := Trace{VP: vp.Name, Dst: dst}
+	gaps := 0
+	var step func(ttl uint8)
+	step = func(ttl uint8) {
+		vp.Prober.StartOne(probe.Spec{Dst: dst, Kind: probe.TTLPing, TTL: ttl}, opts.Timeout, func(r probe.Result) {
+			switch r.Type {
+			case probe.EchoReply:
+				tr.Hops = append(tr.Hops, TraceHop{TTL: ttl, Addr: r.From, RTT: r.RTT(), Final: true})
+				tr.Reached = true
+				tr.DestTTL = ttl
+				done(tr)
+				return
+			case probe.TimeExceeded:
+				tr.Hops = append(tr.Hops, TraceHop{TTL: ttl, Addr: r.From, RTT: r.RTT()})
+				gaps = 0
+			case probe.NoResponse:
+				tr.Hops = append(tr.Hops, TraceHop{TTL: ttl})
+				gaps++
+			default:
+				// Unreachables and other errors terminate the trace.
+				tr.Hops = append(tr.Hops, TraceHop{TTL: ttl, Addr: r.From, RTT: r.RTT()})
+				done(tr)
+				return
+			}
+			if ttl >= opts.maxTTL() || gaps >= opts.gapLimit() {
+				done(tr)
+				return
+			}
+			step(ttl + 1)
+		})
+	}
+	step(1)
+}
+
+// TracerouteBatch traces every destination, staggering trace starts at
+// opts.StartRate, and calls done with results in destination order.
+func (vp *VantagePoint) TracerouteBatch(dsts []netip.Addr, opts TraceOptions, done func([]Trace)) {
+	if len(dsts) == 0 {
+		vp.Prober.Schedule(0, func() { done(nil) })
+		return
+	}
+	results := make([]Trace, len(dsts))
+	remaining := len(dsts)
+	interval := time.Duration(float64(time.Second) / opts.startRate())
+	for i, d := range dsts {
+		i, d := i, d
+		vp.scheduleAfter(time.Duration(i)*interval, func() {
+			vp.Traceroute(d, opts, func(t Trace) {
+				results[i] = t
+				remaining--
+				if remaining == 0 {
+					done(results)
+				}
+			})
+		})
+	}
+}
+
+// scheduleAfter defers fn on the prober's transport clock.
+func (vp *VantagePoint) scheduleAfter(d time.Duration, fn func()) {
+	vp.Prober.Schedule(d, fn)
+}

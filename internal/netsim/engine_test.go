@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsInTimestampOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(1*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(2*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Errorf("final clock = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	e.Schedule(time.Millisecond, func() {
+		times = append(times, e.Now())
+		e.Schedule(time.Millisecond, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != time.Millisecond || times[1] != 2*time.Millisecond {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestEngineRunUntilLeavesFutureEvents(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(time.Millisecond, func() { ran++ })
+	e.Schedule(5*time.Millisecond, func() { ran++ })
+	e.RunUntil(2 * time.Millisecond)
+	if ran != 1 {
+		t.Errorf("ran %d events before t=2ms, want 1", ran)
+	}
+	if e.Now() != 2*time.Millisecond {
+		t.Errorf("clock = %v, want 2ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Errorf("ran %d total, want 2", ran)
+	}
+}
+
+func TestEngineNegativeDelayRunsNow(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(time.Second)
+	var at time.Duration = -1
+	e.Schedule(-5*time.Millisecond, func() { at = e.Now() })
+	e.Run()
+	if at != time.Second {
+		t.Errorf("negative-delay event ran at %v, want %v", at, time.Second)
+	}
+}
+
+func TestEngineAt(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.At(7*time.Millisecond, func() { at = e.Now() })
+	e.Run()
+	if at != 7*time.Millisecond {
+		t.Errorf("ran at %v", at)
+	}
+}
+
+func TestTokenBucketConformingRate(t *testing.T) {
+	tb := NewTokenBucket(10, 1) // 10 pps, burst 1
+	// One packet every 100ms conforms indefinitely.
+	for i := 0; i < 50; i++ {
+		now := time.Duration(i) * 100 * time.Millisecond
+		if !tb.Allow(now) {
+			t.Fatalf("conforming packet %d dropped", i)
+		}
+	}
+}
+
+func TestTokenBucketPolicesBurst(t *testing.T) {
+	tb := NewTokenBucket(10, 10)
+	allowed := 0
+	// 100 packets arriving in the same instant: only the burst passes.
+	for i := 0; i < 100; i++ {
+		if tb.Allow(0) {
+			allowed++
+		}
+	}
+	if allowed != 10 {
+		t.Errorf("allowed %d of instantaneous burst, want 10", allowed)
+	}
+	// After one second, 10 more tokens have accumulated.
+	allowed = 0
+	for i := 0; i < 100; i++ {
+		if tb.Allow(time.Second) {
+			allowed++
+		}
+	}
+	if allowed != 10 {
+		t.Errorf("allowed %d after refill, want 10", allowed)
+	}
+}
+
+func TestTokenBucketLongTermRate(t *testing.T) {
+	tb := NewTokenBucket(10, 10)
+	allowed := 0
+	// 100 pps offered for 10 simulated seconds: ~10% should pass.
+	for i := 0; i < 1000; i++ {
+		if tb.Allow(time.Duration(i) * 10 * time.Millisecond) {
+			allowed++
+		}
+	}
+	if allowed < 95 || allowed > 115 {
+		t.Errorf("allowed %d of 1000 at 10x overload, want ~100", allowed)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

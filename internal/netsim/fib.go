@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// FIB is a longest-prefix-match forwarding table mapping destination
+// prefixes to egress interfaces. Lookups probe per-prefix-length maps
+// from most to least specific; real tables here hold only a handful of
+// distinct lengths, so this stays fast without a trie.
+type FIB struct {
+	byLen   map[int]map[netip.Prefix]*Iface
+	lengths []int // sorted descending, kept in sync with byLen
+	size    int
+}
+
+// NewFIB returns an empty forwarding table.
+func NewFIB() *FIB {
+	return &FIB{byLen: make(map[int]map[netip.Prefix]*Iface)}
+}
+
+// Add installs a route. The prefix is masked to its canonical form; a
+// later Add for the same prefix overwrites the earlier one.
+func (f *FIB) Add(p netip.Prefix, via *Iface) {
+	p = p.Masked()
+	m := f.byLen[p.Bits()]
+	if m == nil {
+		m = make(map[netip.Prefix]*Iface)
+		f.byLen[p.Bits()] = m
+		f.lengths = append(f.lengths, p.Bits())
+		sort.Sort(sort.Reverse(sort.IntSlice(f.lengths)))
+	}
+	if _, exists := m[p]; !exists {
+		f.size++
+	}
+	m[p] = via
+}
+
+// Lookup returns the egress interface for dst under longest-prefix
+// match, or nil if no route covers it.
+func (f *FIB) Lookup(dst netip.Addr) *Iface {
+	for _, bits := range f.lengths {
+		p, err := dst.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if via, ok := f.byLen[bits][p]; ok {
+			return via
+		}
+	}
+	return nil
+}
+
+// Len returns the number of installed routes.
+func (f *FIB) Len() int { return f.size }

@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLinkLossDropsConfiguredFraction(t *testing.T) {
+	c := buildChain(2, nil, DefaultHostBehavior())
+	// 30% loss on the VP's uplink direction only.
+	c.vp.Uplink().SetLoss(0.3)
+	for i := 0; i < 1000; i++ {
+		c.vp.Inject(makePingRR(t, a(vpAddrStr), a(destAddrStr), uint16(i), 1, 64, 0))
+	}
+	c.net.Engine().Run()
+	lost := c.net.Counter("link.loss")
+	if lost < 230 || lost > 370 {
+		t.Errorf("lost %d of 1000 at 30%% loss", lost)
+	}
+	if got := len(c.replies); got != 1000-int(lost) {
+		t.Errorf("replies = %d, want %d (every delivered probe answered)", got, 1000-int(lost))
+	}
+}
+
+func TestLinkLossDeterministic(t *testing.T) {
+	run := func() uint64 {
+		c := buildChain(2, nil, DefaultHostBehavior())
+		c.vp.Uplink().SetLoss(0.1)
+		for i := 0; i < 500; i++ {
+			c.vp.Inject(makePingRR(t, a(vpAddrStr), a(destAddrStr), uint16(i), 1, 64, 0))
+		}
+		c.net.Engine().Run()
+		return c.net.Counter("link.loss")
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("loss draws not reproducible: %d vs %d", a, b)
+	}
+}
+
+func TestLinkLossZeroByDefault(t *testing.T) {
+	c := buildChain(2, nil, DefaultHostBehavior())
+	for i := 0; i < 100; i++ {
+		c.vp.Inject(makePingRR(t, a(vpAddrStr), a(destAddrStr), uint16(i), 1, 64, 0))
+	}
+	c.net.Engine().Run()
+	if got := c.net.Counter("link.loss"); got != 0 {
+		t.Errorf("default links lost %d packets", got)
+	}
+	if len(c.replies) != 100 {
+		t.Errorf("replies = %d", len(c.replies))
+	}
+}
+
+// TestProbeRetryMasksLoss shows the measurement-level consequence: the
+// paper's three-ping responsiveness probe tolerates loss a single ping
+// would misclassify.
+func TestProbeRetryMasksLoss(t *testing.T) {
+	c := buildChain(2, nil, DefaultHostBehavior())
+	c.vp.Uplink().SetLoss(0.4)
+	const dests = 300 // 300 "destinations", 3 pings each → 900 probes
+	answered := make(map[uint16]bool)
+	for i := 0; i < dests; i++ {
+		for r := 0; r < 3; r++ {
+			c.vp.Inject(makePingRR(t, a(vpAddrStr), a(destAddrStr), uint16(i), uint16(r), 64, 0))
+		}
+	}
+	c.net.Engine().Run()
+	for _, rep := range c.replies {
+		_, icmp := decodeReply(t, rep.raw)
+		answered[icmp.ID] = true
+	}
+	// P(all three lost) at 40% per-direction loss (counting both ways:
+	// p_fail = 1-0.6*0.6 = 0.64) is 0.26; with one ping it would be
+	// 0.64. Three tries must classify clearly more dests responsive.
+	got := len(answered)
+	if got < dests/2 {
+		t.Errorf("three-ping retry classified only %d/%d responsive", got, dests)
+	}
+}
+
+func TestICMPErrorRateLimiting(t *testing.T) {
+	c := buildChain(3, func(i int) RouterBehavior {
+		if i == 1 {
+			return RouterBehavior{ICMPErrorRateLimit: 10}
+		}
+		return RouterBehavior{}
+	}, DefaultHostBehavior())
+	// 100 TTL-2 probes in one instant: R1 must expire them all but may
+	// emit only its error budget (burst 5).
+	for i := 0; i < 100; i++ {
+		c.vp.Inject(makePingRR(t, a(vpAddrStr), a(destAddrStr), uint16(i), 1, 2, 0))
+	}
+	c.net.Engine().Run()
+	if got := c.net.Counter("router.ttl.expired"); got != 100 {
+		t.Fatalf("expired = %d, want 100", got)
+	}
+	if got := c.net.Counter("router.drop.errlimit"); got != 95 {
+		t.Errorf("error-limited drops = %d, want 95 (burst 5)", got)
+	}
+	if len(c.replies) != 5 {
+		t.Errorf("time-exceeded received = %d, want 5", len(c.replies))
+	}
+}
+
+func TestICMPErrorsUnlimitedByDefault(t *testing.T) {
+	c := buildChain(2, nil, DefaultHostBehavior())
+	for i := 0; i < 50; i++ {
+		c.vp.Inject(makePingRR(t, a(vpAddrStr), a(destAddrStr), uint16(i), 1, 1, 0))
+	}
+	c.net.Engine().Run()
+	if len(c.replies) != 50 {
+		t.Errorf("replies = %d, want all 50", len(c.replies))
+	}
+}
+
+func TestEventHookObservesDrops(t *testing.T) {
+	c := buildChain(2, func(i int) RouterBehavior {
+		if i == 0 {
+			return RouterBehavior{DropOptions: true}
+		}
+		return RouterBehavior{}
+	}, DefaultHostBehavior())
+	var events []string
+	c.net.SetEventHook(func(_ time.Duration, counter string) {
+		events = append(events, counter)
+	})
+	c.vp.Inject(makePingRR(t, a(vpAddrStr), a(destAddrStr), 1, 1, 64, 9))
+	c.net.Engine().Run()
+	found := false
+	for _, e := range events {
+		if e == "router.drop.filter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hook missed the filter drop: %v", events)
+	}
+	c.net.SetEventHook(nil)
+	n := len(events)
+	c.vp.Inject(makePingRR(t, a(vpAddrStr), a(destAddrStr), 2, 1, 64, 9))
+	c.net.Engine().Run()
+	if len(events) != n {
+		t.Error("hook fired after removal")
+	}
+}

@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Node is anything attachable to the network: a router or a host.
+type Node interface {
+	// Name returns the node's unique name within its Network.
+	Name() string
+	// Receive handles a serialized IPv4 datagram arriving on iface.
+	Receive(pkt []byte, on *Iface)
+	// addIface registers a new interface during Connect.
+	addIface(i *Iface)
+}
+
+// Iface is one end of a point-to-point link.
+type Iface struct {
+	// Addr is the interface's IPv4 address.
+	Addr netip.Addr
+	// Owner is the node this interface belongs to.
+	Owner Node
+
+	peer  *Iface
+	delay time.Duration
+	loss  float64 // per-direction drop probability
+	net   *Network
+}
+
+// Peer returns the interface at the other end of the link.
+func (i *Iface) Peer() *Iface { return i.peer }
+
+// SetLoss sets the probability that a packet transmitted from this
+// interface is silently dropped (failure injection). Loss draws come
+// from the network's deterministic RNG.
+func (i *Iface) SetLoss(p float64) { i.loss = p }
+
+// Send schedules pkt for delivery to the link peer after the link delay.
+// The buffer must not be modified by the caller afterwards.
+func (i *Iface) Send(pkt []byte) {
+	if i.peer == nil {
+		i.net.Count("drop.unconnected", 1)
+		return
+	}
+	if i.loss > 0 && i.net.lossDraw() < i.loss {
+		i.net.Count("link.loss", 1)
+		return
+	}
+	peer := i.peer
+	i.net.Count("link.tx", 1)
+	i.net.engine.Schedule(i.delay, func() {
+		peer.Owner.Receive(pkt, peer)
+	})
+}
+
+// seedIPID derives a device's initial IP-ID counter value from its name
+// (FNV-1a), so distinct devices start far apart — as real, long-running
+// devices do. Interfaces of one device share the counter; that shared
+// monotonic sequence is what MIDAR-style alias resolution detects.
+func seedIPID(name string) uint16 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return uint16(h>>16) ^ uint16(h)
+}
+
+// Network owns the engine, the nodes, and global counters.
+type Network struct {
+	engine   *Engine
+	nodes    []Node
+	byName   map[string]Node
+	counters map[string]uint64
+	lossRNG  uint64 // xorshift state for deterministic loss draws
+	hook     func(at time.Duration, counter string)
+}
+
+// New returns an empty network with a fresh engine.
+func New() *Network {
+	return &Network{
+		engine:   NewEngine(),
+		byName:   make(map[string]Node),
+		counters: make(map[string]uint64),
+		lossRNG:  0x9e3779b97f4a7c15,
+	}
+}
+
+// lossDraw returns a deterministic uniform draw in [0, 1) for link-loss
+// decisions (xorshift64*, cheap and reproducible).
+func (n *Network) lossDraw() float64 {
+	x := n.lossRNG
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	n.lossRNG = x
+	return float64(x*0x2545f4914f6cdd1d>>11) / float64(1<<53)
+}
+
+// Engine returns the network's event engine.
+func (n *Network) Engine() *Engine { return n.engine }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.engine.Now() }
+
+// Count adds delta to the named counter. Counter names are dotted paths
+// such as "drop.ratelimit" or "fwd.options".
+func (n *Network) Count(name string, delta uint64) {
+	n.counters[name] += delta
+	if n.hook != nil {
+		n.hook(n.engine.Now(), name)
+	}
+}
+
+// SetEventHook installs a live observer invoked on every counter event
+// with the virtual time and counter name — a lightweight tracing
+// facility for debugging simulations. Pass nil to remove it.
+func (n *Network) SetEventHook(fn func(at time.Duration, counter string)) { n.hook = fn }
+
+// Counter returns the named counter's value.
+func (n *Network) Counter(name string) uint64 { return n.counters[name] }
+
+// Counters returns a sorted snapshot of all counters, for logs and tests.
+func (n *Network) Counters() []string {
+	keys := make([]string, 0, len(n.counters))
+	for k := range n.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s=%d", k, n.counters[k])
+	}
+	return out
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) Node { return n.byName[name] }
+
+// NumNodes returns how many nodes have been added.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// register adds a node, panicking on duplicate names: topology
+// construction bugs should fail loudly at build time, not mid-run.
+func (n *Network) register(node Node) {
+	if _, dup := n.byName[node.Name()]; dup {
+		panic("netsim: duplicate node name " + node.Name())
+	}
+	n.nodes = append(n.nodes, node)
+	n.byName[node.Name()] = node
+}
+
+// Connect links two nodes with a bidirectional point-to-point link.
+// addrA and addrB become the interface addresses on each side and delay
+// applies in both directions. It returns the two interfaces.
+func (n *Network) Connect(a, b Node, addrA, addrB netip.Addr, delay time.Duration) (*Iface, *Iface) {
+	ia := &Iface{Addr: addrA, Owner: a, delay: delay, net: n}
+	ib := &Iface{Addr: addrB, Owner: b, delay: delay, net: n}
+	ia.peer, ib.peer = ib, ia
+	a.addIface(ia)
+	b.addIface(ib)
+	// Routers learn connected host routes to their link peers, as real
+	// routers do; everything else is the route computation's job.
+	if r, ok := a.(*Router); ok {
+		r.fib.Add(netip.PrefixFrom(addrB, 32), ia)
+	}
+	if r, ok := b.(*Router); ok {
+		r.fib.Add(netip.PrefixFrom(addrA, 32), ib)
+	}
+	return ia, ib
+}

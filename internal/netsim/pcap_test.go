@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"recordroute/internal/packet"
+)
+
+func TestPcapWriterFormat(t *testing.T) {
+	var buf bytes.Buffer
+	p, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := []byte{0x45, 0, 0, 20}
+	p.WritePacket(1500*time.Millisecond, pkt)
+	if p.Err() != nil || p.Packets() != 1 {
+		t.Fatalf("err=%v packets=%d", p.Err(), p.Packets())
+	}
+	out := buf.Bytes()
+	if len(out) != 24+16+len(pkt) {
+		t.Fatalf("capture length %d", len(out))
+	}
+	if got := binary.LittleEndian.Uint32(out[0:]); got != pcapMagic {
+		t.Errorf("magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(out[20:]); got != pcapLinktypeRaw {
+		t.Errorf("linktype %d", got)
+	}
+	// Record header: 1s, 500000us, lens.
+	if got := binary.LittleEndian.Uint32(out[24:]); got != 1 {
+		t.Errorf("ts_sec %d", got)
+	}
+	if got := binary.LittleEndian.Uint32(out[28:]); got != 500000 {
+		t.Errorf("ts_usec %d", got)
+	}
+	if got := binary.LittleEndian.Uint32(out[32:]); got != uint32(len(pkt)) {
+		t.Errorf("caplen %d", got)
+	}
+	if !bytes.Equal(out[40:], pkt) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestCaptureHostRecordsDeliveredPackets(t *testing.T) {
+	c := buildChain(2, nil, DefaultHostBehavior())
+	var buf bytes.Buffer
+	p, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := CaptureHost(c.vp, p)
+	c.vp.Inject(makePingRR(t, a(vpAddrStr), a(destAddrStr), 1, 1, 64, 9))
+	c.net.Engine().Run()
+	if p.Packets() != 1 {
+		t.Fatalf("captured %d packets, want the echo reply", p.Packets())
+	}
+	stop()
+	c.vp.Inject(makePingRR(t, a(vpAddrStr), a(destAddrStr), 2, 1, 64, 9))
+	c.net.Engine().Run()
+	if p.Packets() != 1 {
+		t.Error("capture continued after stop")
+	}
+	// The captured record must decode as the reply datagram.
+	rec := buf.Bytes()[24+16:]
+	var ip packet.IPv4
+	payload, err := ip.Decode(rec)
+	if err != nil {
+		t.Fatalf("captured packet undecodable: %v", err)
+	}
+	var icmp packet.ICMP
+	if err := icmp.Decode(payload); err != nil || icmp.Type != packet.ICMPEchoReply {
+		t.Errorf("captured %v, err=%v", icmp.Type, err)
+	}
+}

@@ -1,0 +1,344 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"recordroute/internal/packet"
+)
+
+// RouterBehavior configures how a router treats packets, especially those
+// carrying IP options. The zero value is a fully RFC-conformant router:
+// it stamps Record Route, decrements TTL, sends Time Exceeded errors, and
+// imposes no options rate limit.
+type RouterBehavior struct {
+	// NoStampRR forwards options packets without recording an address
+	// (the RFC 7126 / BCP 186 "ignore" stance the paper's §3.5 hunts for).
+	NoStampRR bool
+	// DropOptions silently drops any packet carrying IP options
+	// (AS-edge filtering).
+	DropOptions bool
+	// NoTTLDecrement makes the router invisible to traceroute: it
+	// forwards without decrementing TTL (an "anonymous" router or an
+	// MPLS tunnel interior hop). Such a router can still stamp RR.
+	NoTTLDecrement bool
+	// NoTimeExceeded drops expired packets silently instead of
+	// generating ICMP Time Exceeded.
+	NoTimeExceeded bool
+	// OptionsRateLimit, if positive, is the packets-per-second budget of
+	// the control-plane slow path that handles options packets;
+	// non-conforming packets are dropped (CoPP-style policing).
+	OptionsRateLimit float64
+	// OptionsRateBurst is the policer's burst size; it defaults to the
+	// rate (one second's worth) when zero.
+	OptionsRateBurst float64
+	// SlowPathDelay is extra per-packet forwarding latency applied to
+	// options packets, modelling route-processor punting.
+	SlowPathDelay time.Duration
+	// ICMPErrorRateLimit, if positive, caps the router's ICMP error
+	// generation (Time Exceeded and friends) in errors per second, as
+	// real routers do; excess expirations are dropped silently.
+	ICMPErrorRateLimit float64
+	// AllowSourceRoute makes the router honor LSRR/SSRR options
+	// addressed to it, forwarding to the next listed hop. Modern
+	// routers refuse (RFC 7126 recommends dropping source-routed
+	// packets), which is the default — and the reason the 2005 tech
+	// report found source routing unusable while this paper finds
+	// Record Route workable.
+	AllowSourceRoute bool
+}
+
+// Router is a packet-forwarding node.
+type Router struct {
+	name       string
+	net        *Network
+	behavior   RouterBehavior
+	fib        *FIB
+	routeFn    func(dst netip.Addr) *Iface
+	ifaces     []*Iface
+	local      map[netip.Addr]bool
+	limiter    *TokenBucket
+	errLimiter *TokenBucket
+	ipid       uint16
+
+	// scratch decoding state; safe because the engine is single-threaded.
+	ip packet.IPv4
+	rr packet.RecordRoute
+	ts packet.Timestamp
+	sr packet.SourceRoute
+}
+
+// AddRouter creates a router and registers it with the network.
+func (n *Network) AddRouter(name string, behavior RouterBehavior) *Router {
+	r := &Router{
+		name:     name,
+		net:      n,
+		behavior: behavior,
+		fib:      NewFIB(),
+		local:    make(map[netip.Addr]bool),
+		ipid:     seedIPID(name),
+	}
+	if behavior.OptionsRateLimit > 0 {
+		burst := behavior.OptionsRateBurst
+		if burst <= 0 {
+			burst = behavior.OptionsRateLimit
+		}
+		r.limiter = NewTokenBucket(behavior.OptionsRateLimit, burst)
+	}
+	if behavior.ICMPErrorRateLimit > 0 {
+		r.errLimiter = NewTokenBucket(behavior.ICMPErrorRateLimit, behavior.ICMPErrorRateLimit/2)
+	}
+	n.register(r)
+	return r
+}
+
+// Name returns the router's name.
+func (r *Router) Name() string { return r.name }
+
+// Behavior returns the router's configured behavior.
+func (r *Router) Behavior() RouterBehavior { return r.behavior }
+
+// FIB returns the router's forwarding table for route installation.
+func (r *Router) FIB() *FIB { return r.fib }
+
+// AddRoute installs a route for prefix via the given interface.
+func (r *Router) AddRoute(prefix netip.Prefix, via *Iface) { r.fib.Add(prefix, via) }
+
+// SetRouteFunc installs a routing oracle consulted before the FIB.
+// Large generated topologies use a shared oracle instead of populating
+// millions of per-router FIB entries; fn returning nil falls back to the
+// FIB (which still holds connected routes).
+func (r *Router) SetRouteFunc(fn func(dst netip.Addr) *Iface) { r.routeFn = fn }
+
+// lookupRoute resolves the egress interface for dst via the oracle or FIB.
+func (r *Router) lookupRoute(dst netip.Addr) *Iface {
+	if r.routeFn != nil {
+		if via := r.routeFn(dst); via != nil {
+			return via
+		}
+	}
+	return r.fib.Lookup(dst)
+}
+
+// Interfaces returns the router's interfaces in attachment order.
+func (r *Router) Interfaces() []*Iface { return r.ifaces }
+
+// Addrs reports whether addr is local to the router.
+func (r *Router) ownsAddr(addr netip.Addr) bool { return r.local[addr] }
+
+func (r *Router) addIface(i *Iface) {
+	r.ifaces = append(r.ifaces, i)
+	r.local[i.Addr] = true
+}
+
+// nextID returns the next IP identifier from the router's shared
+// counter. A shared monotonic counter across interfaces is the signal
+// MIDAR-style alias resolution relies on.
+func (r *Router) nextID() uint16 {
+	r.ipid++
+	return r.ipid
+}
+
+// Receive implements Node. It is the router's forwarding path.
+func (r *Router) Receive(pkt []byte, on *Iface) {
+	payload, err := r.ip.Decode(pkt)
+	if err != nil {
+		r.net.Count("router.drop.parse", 1)
+		return
+	}
+	hasOpts := len(r.ip.Options) > 0
+
+	// Options packets traverse the slow path: filtering and policing
+	// happen before any other processing, including local delivery.
+	if hasOpts {
+		if r.behavior.DropOptions {
+			r.net.Count("router.drop.filter", 1)
+			return
+		}
+		if r.limiter != nil && !r.limiter.Allow(r.net.Now()) {
+			r.net.Count("router.drop.ratelimit", 1)
+			return
+		}
+		r.net.Count("router.slowpath", 1)
+	}
+
+	if r.ownsAddr(r.ip.Dst) {
+		if found, err := r.ip.SourceRouteOption(&r.sr); found && err == nil && !r.sr.Exhausted() {
+			r.forwardSourceRouted(payload)
+			return
+		}
+		r.deliverLocal(payload)
+		return
+	}
+
+	// TTL handling. An "anonymous" router forwards without decrementing.
+	if !r.behavior.NoTTLDecrement {
+		if r.ip.TTL <= 1 {
+			if !r.behavior.NoTimeExceeded {
+				r.sendTimeExceeded(pkt, on)
+			} else {
+				r.net.Count("router.drop.ttl.silent", 1)
+			}
+			r.net.Count("router.ttl.expired", 1)
+			return
+		}
+		r.ip.TTL--
+	}
+
+	egress := r.lookupRoute(r.ip.Dst)
+	if egress == nil {
+		r.net.Count("router.drop.noroute", 1)
+		return
+	}
+
+	// Stamp Record Route with the outgoing interface address (RFC 791:
+	// "its own internet address as known in the environment into which
+	// this datagram is being forwarded").
+	if hasOpts && !r.behavior.NoStampRR {
+		if found, err := r.ip.RecordRouteOption(&r.rr); found && err == nil && !r.rr.Full() {
+			r.rr.Record(egress.Addr)
+			if err := r.ip.SetRecordRoute(&r.rr); err != nil {
+				r.net.Count("router.drop.rrencode", 1)
+				return
+			}
+			r.net.Count("router.rr.stamped", 1)
+		}
+		// The Internet Timestamp option is processed on the same slow
+		// path; a full option increments its overflow counter.
+		if found, err := r.ip.TimestampOption(&r.ts); found && err == nil {
+			r.ts.Record(egress.Addr, uint32(r.net.Now().Milliseconds()))
+			if err := r.ip.SetTimestamp(&r.ts); err != nil {
+				r.net.Count("router.drop.tsencode", 1)
+				return
+			}
+			r.net.Count("router.ts.stamped", 1)
+		}
+	}
+
+	out, err := r.ip.Marshal(payload)
+	if err != nil {
+		r.net.Count("router.drop.encode", 1)
+		return
+	}
+	r.net.Count("router.fwd", 1)
+	if hasOpts && r.behavior.SlowPathDelay > 0 {
+		r.net.engine.Schedule(r.behavior.SlowPathDelay, func() { egress.Send(out) })
+		return
+	}
+	egress.Send(out)
+}
+
+// forwardSourceRouted handles a source-routed packet whose current
+// destination is this router: if the router honors source routing it
+// swaps in the next listed hop (recording its own outgoing address in
+// the slot, per RFC 791) and forwards; otherwise the packet is dropped,
+// the near-universal stance on today's Internet.
+func (r *Router) forwardSourceRouted(payload []byte) {
+	if !r.behavior.AllowSourceRoute {
+		r.net.Count("router.drop.sourceroute", 1)
+		return
+	}
+	next := r.sr.NextHop()
+	egress := r.lookupRoute(next)
+	if egress == nil {
+		r.net.Count("router.drop.noroute", 1)
+		return
+	}
+	newDst, ok := r.sr.Advance(egress.Addr)
+	if !ok {
+		r.net.Count("router.drop.sourceroute", 1)
+		return
+	}
+	r.ip.Dst = newDst
+	if err := r.ip.SetSourceRoute(&r.sr); err != nil {
+		r.net.Count("router.drop.encode", 1)
+		return
+	}
+	if !r.behavior.NoTTLDecrement && r.ip.TTL > 1 {
+		r.ip.TTL--
+	}
+	out, err := r.ip.Marshal(payload)
+	if err != nil {
+		r.net.Count("router.drop.encode", 1)
+		return
+	}
+	r.net.Count("router.fwd.sourceroute", 1)
+	egress.Send(out)
+}
+
+// deliverLocal handles packets addressed to the router itself (r.ip
+// holds the already-decoded header). Routers answer ICMP echo (including
+// ping-RR, stamping themselves and copying the option into the reply) so
+// that they can serve as probe targets and alias-resolution subjects.
+func (r *Router) deliverLocal(payload []byte) {
+	var icmp packet.ICMP
+	if r.ip.Protocol != packet.ProtocolICMP || icmp.Decode(payload) != nil {
+		r.net.Count("router.local.ignored", 1)
+		return
+	}
+	if icmp.Type != packet.ICMPEchoRequest {
+		r.net.Count("router.local.ignored", 1)
+		return
+	}
+	reply := icmp.EchoReply()
+	hdr := packet.IPv4{
+		TTL:      64,
+		ID:       r.nextID(),
+		Protocol: packet.ProtocolICMP,
+		Src:      r.ip.Dst,
+		Dst:      r.ip.Src,
+	}
+	// Copy the Record Route option into the reply and stamp ourselves,
+	// as a conformant destination does.
+	if found, err := r.ip.RecordRouteOption(&r.rr); found && err == nil {
+		cp := r.rr.Clone()
+		if !r.behavior.NoStampRR {
+			cp.Record(r.ip.Dst)
+		}
+		if err := hdr.SetRecordRoute(cp); err != nil {
+			return
+		}
+	}
+	r.sendLocal(&hdr, reply.Marshal())
+}
+
+// sendTimeExceeded emits an ICMP Time Exceeded error quoting the expired
+// packet as received (its Record Route option included, which is what
+// lets TTL-limited ping-RR results be read at the source, §4.2).
+// Generation is subject to the router's ICMP error policer.
+func (r *Router) sendTimeExceeded(orig []byte, on *Iface) {
+	if r.errLimiter != nil && !r.errLimiter.Allow(r.net.Now()) {
+		r.net.Count("router.drop.errlimit", 1)
+		return
+	}
+	hdrLen := int(orig[0]&0xf) * 4
+	if hdrLen > len(orig) {
+		hdrLen = len(orig)
+	}
+	src := r.ip.Src // origin header was decoded into r.ip by Receive
+	e := packet.NewError(packet.ICMPTimeExceeded, packet.CodeTTLExceeded, orig[:hdrLen], orig[hdrLen:])
+	hdr := packet.IPv4{
+		TTL:      64,
+		ID:       r.nextID(),
+		Protocol: packet.ProtocolICMP,
+		Src:      on.Addr, // errors originate from the receiving interface
+		Dst:      src,
+	}
+	r.net.Count("router.icmp.timeexceeded", 1)
+	r.sendLocal(&hdr, e.Marshal())
+}
+
+// sendLocal routes and transmits a router-originated packet.
+func (r *Router) sendLocal(hdr *packet.IPv4, transport []byte) {
+	egress := r.lookupRoute(hdr.Dst)
+	if egress == nil {
+		r.net.Count("router.drop.noroute.local", 1)
+		return
+	}
+	out, err := hdr.Marshal(transport)
+	if err != nil {
+		r.net.Count("router.drop.encode", 1)
+		return
+	}
+	egress.Send(out)
+}

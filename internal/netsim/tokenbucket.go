@@ -1,0 +1,44 @@
+package netsim
+
+import "time"
+
+// TokenBucket is a rate limiter in virtual time, modelling control-plane
+// policing of IP-options packets (Cisco CoPP-style: a configured rate of
+// options packets per second are punted to the route processor, the rest
+// are dropped).
+type TokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Duration
+}
+
+// NewTokenBucket returns a limiter admitting rate packets per second with
+// the given burst size. The bucket starts full. A burst below 1 is
+// raised to 1 so a conforming first packet always passes.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Allow reports whether a packet arriving at virtual time now conforms,
+// consuming one token if so. now must be monotonically non-decreasing
+// across calls, which the single-threaded engine guarantees.
+func (tb *TokenBucket) Allow(now time.Duration) bool {
+	elapsed := now - tb.last
+	tb.last = now
+	tb.tokens += tb.rate * elapsed.Seconds()
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// Rate returns the configured packets-per-second rate.
+func (tb *TokenBucket) Rate() float64 { return tb.rate }

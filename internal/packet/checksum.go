@@ -1,0 +1,50 @@
+package packet
+
+import "net/netip"
+
+// Checksum computes the Internet checksum (RFC 1071) over data: the one's
+// complement of the one's complement sum of the data interpreted as a
+// sequence of big-endian 16-bit words, with a trailing odd byte padded
+// with zero.
+func Checksum(data []byte) uint16 {
+	return foldChecksum(sumWords(0, data))
+}
+
+// sumWords accumulates the 16-bit one's-complement partial sum of data
+// onto acc. The returned value has not been folded.
+func sumWords(acc uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		acc += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		acc += uint32(data[n-1]) << 8
+	}
+	return acc
+}
+
+// foldChecksum folds the 32-bit partial sum into 16 bits and complements it.
+func foldChecksum(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = (acc & 0xffff) + acc>>16
+	}
+	return ^uint16(acc)
+}
+
+// pseudoHeaderSum returns the unfolded checksum contribution of the IPv4
+// pseudo-header used by UDP and TCP: source, destination, zero+protocol,
+// and the transport-layer length.
+func pseudoHeaderSum(src, dst netip.Addr, proto Protocol, length int) uint32 {
+	var acc uint32
+	if s, ok := addr4(src); ok {
+		acc += uint32(s[0])<<8 | uint32(s[1])
+		acc += uint32(s[2])<<8 | uint32(s[3])
+	}
+	if d, ok := addr4(dst); ok {
+		acc += uint32(d[0])<<8 | uint32(d[1])
+		acc += uint32(d[2])<<8 | uint32(d[3])
+	}
+	acc += uint32(proto)
+	acc += uint32(length)
+	return acc
+}

@@ -1,0 +1,44 @@
+package packet
+
+import "fmt"
+
+// Parsed is a reusable full-packet decoder in the DecodingLayerParser
+// style: one Parsed per goroutine decodes any number of packets with no
+// per-packet allocation. After Decode, IP is always valid; exactly one of
+// HasICMP or HasUDP is set when the protocol is known, otherwise the raw
+// payload is available in Payload.
+type Parsed struct {
+	IP      IPv4
+	ICMP    ICMP
+	UDP     UDP
+	HasICMP bool
+	HasUDP  bool
+	// Payload is the IP payload for protocols the parser does not decode.
+	Payload []byte
+}
+
+// Decode parses a full IPv4 datagram. Decoded fields alias data.
+func (p *Parsed) Decode(data []byte) error {
+	p.HasICMP = false
+	p.HasUDP = false
+	p.Payload = nil
+	body, err := p.IP.Decode(data)
+	if err != nil {
+		return err
+	}
+	switch p.IP.Protocol {
+	case ProtocolICMP:
+		if err := p.ICMP.Decode(body); err != nil {
+			return fmt.Errorf("in %v: %w", &p.IP, err)
+		}
+		p.HasICMP = true
+	case ProtocolUDP:
+		if err := p.UDP.Decode(body, p.IP.Src, p.IP.Dst); err != nil {
+			return fmt.Errorf("in %v: %w", &p.IP, err)
+		}
+		p.HasUDP = true
+	default:
+		p.Payload = body
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestICMPEchoRoundTrip(t *testing.T) {
+	req := NewEchoRequest(0x1234, 7, []byte("probe-data"))
+	wire := req.Marshal()
+	var back ICMP
+	if err := back.Decode(wire); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if back.Type != ICMPEchoRequest || back.Code != 0 {
+		t.Errorf("type/code = %v/%d", back.Type, back.Code)
+	}
+	if back.ID != 0x1234 || back.Seq != 7 {
+		t.Errorf("id/seq = %#x/%d", back.ID, back.Seq)
+	}
+	if string(back.Payload) != "probe-data" {
+		t.Errorf("payload %q", back.Payload)
+	}
+}
+
+func TestICMPEchoReplyPreservesIdentifiers(t *testing.T) {
+	req := NewEchoRequest(42, 99, []byte("xyz"))
+	rep := req.EchoReply()
+	if rep.Type != ICMPEchoReply {
+		t.Errorf("reply type %v", rep.Type)
+	}
+	if rep.ID != req.ID || rep.Seq != req.Seq {
+		t.Errorf("reply id/seq = %d/%d, want %d/%d", rep.ID, rep.Seq, req.ID, req.Seq)
+	}
+	if string(rep.Payload) != "xyz" {
+		t.Errorf("reply payload %q", rep.Payload)
+	}
+}
+
+func TestICMPDecodeRejectsBadChecksum(t *testing.T) {
+	wire := NewEchoRequest(1, 1, nil).Marshal()
+	wire[0] ^= 0xff
+	var back ICMP
+	if err := back.Decode(wire); !errors.Is(err, ErrChecksum) {
+		t.Errorf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestICMPDecodeRejectsTruncated(t *testing.T) {
+	var back ICMP
+	if err := back.Decode([]byte{8, 0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestICMPErrorQuotesOptionsHeader(t *testing.T) {
+	// Build an offending ping-RR, then a time-exceeded error quoting it,
+	// and verify the RR contents are readable from the quote — the exact
+	// mechanism §4.2 (TTL-limited probing) and ping-RRudp (§3.3) rely on.
+	rr := NewRecordRoute(9)
+	rr.Record(addr("10.0.0.1"))
+	rr.Record(addr("10.0.0.2"))
+	offending := &IPv4{TTL: 0, Protocol: ProtocolICMP, Src: addr("192.0.2.1"), Dst: addr("198.51.100.9")}
+	if err := offending.SetRecordRoute(rr); err != nil {
+		t.Fatal(err)
+	}
+	echo := NewEchoRequest(5, 6, []byte("0123456789abcdef")).Marshal()
+	offWire, err := offending.Marshal(echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrLen := int(offWire[0]&0xf) * 4
+
+	icmpErr := NewError(ICMPTimeExceeded, CodeTTLExceeded, offWire[:hdrLen], offWire[hdrLen:])
+	wire := icmpErr.Marshal()
+
+	var back ICMP
+	if err := back.Decode(wire); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !back.Type.IsError() {
+		t.Fatal("time exceeded not classified as error")
+	}
+	var quoted IPv4
+	transport, err := back.QuotedDatagram(&quoted)
+	if err != nil {
+		t.Fatalf("QuotedDatagram: %v", err)
+	}
+	if quoted.Dst != addr("198.51.100.9") {
+		t.Errorf("quoted destination %v", quoted.Dst)
+	}
+	// Only 8 transport bytes are quoted.
+	if len(transport) != 8 {
+		t.Errorf("quoted transport = %d bytes, want 8", len(transport))
+	}
+	var qrr RecordRoute
+	found, err := quoted.RecordRouteOption(&qrr)
+	if !found || err != nil {
+		t.Fatalf("quoted RR: found=%v err=%v", found, err)
+	}
+	if qrr.RecordedCount() != 2 || qrr.Recorded()[1] != addr("10.0.0.2") {
+		t.Errorf("quoted RR recorded = %v", qrr.Recorded())
+	}
+}
+
+func TestICMPQuotedDatagramToleratesTruncation(t *testing.T) {
+	// Quoted datagrams truncate the transport payload (8 bytes), so the
+	// quoted header's TotalLength exceeds the quote. QuotedDatagram must
+	// still parse the header and report the original claimed length.
+	off := &IPv4{TTL: 3, Protocol: ProtocolUDP, Src: addr("10.0.0.1"), Dst: addr("10.0.0.2")}
+	wire, err := off.Marshal(make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewError(ICMPDestUnreach, CodePortUnreachable, wire[:20], wire[20:])
+	var back ICMP
+	if err := back.Decode(e.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	var quoted IPv4
+	transport, err := back.QuotedDatagram(&quoted)
+	if err != nil {
+		t.Fatalf("QuotedDatagram: %v", err)
+	}
+	if len(transport) != 8 {
+		t.Errorf("quoted transport = %d bytes, want 8", len(transport))
+	}
+	if quoted.TotalLength != 120 {
+		t.Errorf("quoted TotalLength = %d, want original 120", quoted.TotalLength)
+	}
+	if quoted.Dst != addr("10.0.0.2") {
+		t.Errorf("quoted dst = %v", quoted.Dst)
+	}
+}
+
+func TestICMPErrorNormalizesIDSeq(t *testing.T) {
+	// Error messages must never match an echo id/seq pair by accident.
+	e := &ICMP{Type: ICMPTimeExceeded, ID: 77, Seq: 88, Payload: make([]byte, 28)}
+	var back ICMP
+	if err := back.Decode(e.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 0 || back.Seq != 0 {
+		t.Errorf("error message id/seq = %d/%d, want 0/0", back.ID, back.Seq)
+	}
+}
+
+func TestQuotedDatagramRequiresErrorType(t *testing.T) {
+	m := NewEchoRequest(1, 2, nil)
+	var h IPv4
+	if _, err := m.QuotedDatagram(&h); err == nil {
+		t.Error("QuotedDatagram succeeded on an echo request")
+	}
+}

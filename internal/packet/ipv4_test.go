@@ -1,0 +1,200 @@
+package packet
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+func TestIPv4RoundTripNoOptions(t *testing.T) {
+	h := &IPv4{
+		TOS:      0,
+		ID:       0xbeef,
+		Flags:    FlagDontFragment,
+		TTL:      64,
+		Protocol: ProtocolICMP,
+		Src:      addr("192.0.2.1"),
+		Dst:      addr("198.51.100.2"),
+	}
+	payload := []byte("hello, record route")
+	wire, err := h.Marshal(payload)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if len(wire) != 20+len(payload) {
+		t.Fatalf("wire length %d, want %d", len(wire), 20+len(payload))
+	}
+	var back IPv4
+	got, err := back.Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload %q, want %q", got, payload)
+	}
+	if back.Src != h.Src || back.Dst != h.Dst {
+		t.Errorf("addresses %v > %v", back.Src, back.Dst)
+	}
+	if back.ID != h.ID || back.TTL != h.TTL || back.Protocol != h.Protocol || back.Flags != h.Flags {
+		t.Errorf("fields: %+v", back)
+	}
+	if len(back.Options) != 0 {
+		t.Errorf("phantom options: %v", back.Options)
+	}
+}
+
+func TestIPv4RoundTripWithRecordRoute(t *testing.T) {
+	rr := NewRecordRoute(9)
+	rr.Record(addr("10.0.0.1"))
+	rr.Record(addr("10.0.0.2"))
+	h := &IPv4{TTL: 32, Protocol: ProtocolICMP, Src: addr("192.0.2.1"), Dst: addr("198.51.100.2")}
+	if err := h.SetRecordRoute(rr); err != nil {
+		t.Fatalf("SetRecordRoute: %v", err)
+	}
+	wire, err := h.Marshal([]byte{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	// 20 fixed + 39 RR + 1 pad byte.
+	if wantHdr := 60; int(wire[0]&0xf)*4 != wantHdr {
+		t.Fatalf("IHL gives %d-byte header, want %d", int(wire[0]&0xf)*4, wantHdr)
+	}
+	var back IPv4
+	if _, err := back.Decode(wire); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	var rrBack RecordRoute
+	found, err := back.RecordRouteOption(&rrBack)
+	if err != nil || !found {
+		t.Fatalf("RecordRouteOption: found=%v err=%v", found, err)
+	}
+	if rrBack.RecordedCount() != 2 || rrBack.NumSlots() != 9 {
+		t.Fatalf("rr: %d recorded of %d", rrBack.RecordedCount(), rrBack.NumSlots())
+	}
+	if rrBack.Recorded()[1] != addr("10.0.0.2") {
+		t.Errorf("slot 1 = %v", rrBack.Recorded()[1])
+	}
+}
+
+func TestIPv4SetRecordRouteReplacesInPlace(t *testing.T) {
+	h := &IPv4{TTL: 1, Protocol: ProtocolICMP, Src: addr("10.0.0.1"), Dst: addr("10.0.0.2")}
+	a := NewRecordRoute(3)
+	if err := h.SetRecordRoute(a); err != nil {
+		t.Fatal(err)
+	}
+	b := NewRecordRoute(3)
+	b.Record(addr("10.1.0.1"))
+	if err := h.SetRecordRoute(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Options) != 1 {
+		t.Fatalf("options length %d after replace, want 1", len(h.Options))
+	}
+	var rr RecordRoute
+	if found, err := h.RecordRouteOption(&rr); !found || err != nil {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if rr.RecordedCount() != 1 {
+		t.Errorf("recorded %d, want 1 (replacement not applied)", rr.RecordedCount())
+	}
+}
+
+func TestIPv4DecodeRejectsCorruption(t *testing.T) {
+	h := &IPv4{TTL: 64, Protocol: ProtocolUDP, Src: addr("10.0.0.1"), Dst: addr("10.0.0.2")}
+	wire, err := h.Marshal([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name    string
+		corrupt func([]byte) []byte
+		want    error
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:12] }, ErrTruncated},
+		{"wrong version", func(b []byte) []byte { b[0] = 6<<4 | 5; return b }, ErrNotIPv4},
+		{"IHL below 5", func(b []byte) []byte { b[0] = 4<<4 | 4; return b }, ErrBadHeader},
+		{"flipped TTL breaks checksum", func(b []byte) []byte { b[8] ^= 0xff; return b }, ErrChecksum},
+		{"total length past buffer", func(b []byte) []byte { return b[:22] }, ErrTruncated},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := make([]byte, len(wire))
+			copy(buf, wire)
+			var back IPv4
+			_, err := back.Decode(tc.corrupt(buf))
+			if !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestIPv4DecodeTrimsToTotalLength(t *testing.T) {
+	h := &IPv4{TTL: 64, Protocol: ProtocolICMP, Src: addr("10.0.0.1"), Dst: addr("10.0.0.2")}
+	wire, err := h.Marshal([]byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ethernet-style trailing padding must not leak into the payload.
+	padded := append(wire, 0, 0, 0, 0, 0)
+	var back IPv4
+	payload, err := back.Decode(padded)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(payload) != 3 {
+		t.Errorf("payload length %d, want 3", len(payload))
+	}
+}
+
+func TestIPv4MarshalRejectsNonIPv4(t *testing.T) {
+	h := &IPv4{TTL: 1, Protocol: ProtocolICMP, Src: netip.MustParseAddr("2001:db8::1"), Dst: addr("10.0.0.2")}
+	if _, err := h.Marshal(nil); !errors.Is(err, ErrNotIPv4) {
+		t.Errorf("err = %v, want ErrNotIPv4", err)
+	}
+}
+
+func TestIPv4DecodeReusesOptionSlice(t *testing.T) {
+	rr := NewRecordRoute(9)
+	h := &IPv4{TTL: 9, Protocol: ProtocolICMP, Src: addr("10.0.0.1"), Dst: addr("10.0.0.2")}
+	if err := h.SetRecordRoute(rr); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back IPv4
+	if _, err := back.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+	first := &back.Options[0]
+	if _, err := back.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+	if &back.Options[0] != first {
+		t.Error("second Decode reallocated the options slice")
+	}
+}
+
+func TestIPv4FragmentFieldsRoundTrip(t *testing.T) {
+	h := &IPv4{
+		Flags:      FlagMoreFragments,
+		FragOffset: 0x1234 & 0x1fff,
+		TTL:        7,
+		Protocol:   ProtocolUDP,
+		Src:        addr("10.0.0.1"),
+		Dst:        addr("10.0.0.2"),
+	}
+	wire, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back IPv4
+	if _, err := back.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+	if back.Flags != FlagMoreFragments || back.FragOffset != h.FragOffset {
+		t.Errorf("flags=%#x offset=%#x", back.Flags, back.FragOffset)
+	}
+}

@@ -1,0 +1,69 @@
+// Package packet implements encoding and decoding of the on-wire formats
+// used by the Record Route measurement toolkit: the IPv4 header including
+// IP options (most importantly the Record Route option, RFC 791 §3.1),
+// ICMPv4 messages (echo request/reply, time exceeded, destination
+// unreachable with quoted datagrams, RFC 792), and UDP (RFC 768).
+//
+// The decoders follow the gopacket "DecodingLayer" idiom: each layer type
+// has a Decode method that parses into the receiver without allocating,
+// so a hot probing loop can reuse one set of layer structs per goroutine.
+// Encoders are append-style (AppendTo) so callers control buffer reuse;
+// convenience Marshal wrappers allocate for the common case.
+//
+// All addresses are netip.Addr values restricted to IPv4. Packets that
+// carry anything else fail to encode with ErrNotIPv4.
+package packet
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Protocol is an IPv4 protocol number (the Protocol header field).
+type Protocol uint8
+
+// Protocol numbers used by the toolkit.
+const (
+	ProtocolICMP Protocol = 1
+	ProtocolTCP  Protocol = 6
+	ProtocolUDP  Protocol = 17
+)
+
+// String returns the conventional name of the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolICMP:
+		return "icmp"
+	case ProtocolTCP:
+		return "tcp"
+	case ProtocolUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Errors shared by the encoders and decoders in this package.
+var (
+	// ErrTruncated reports input shorter than the structure it claims to hold.
+	ErrTruncated = errors.New("packet: truncated input")
+	// ErrNotIPv4 reports an address or version field that is not IPv4.
+	ErrNotIPv4 = errors.New("packet: not IPv4")
+	// ErrBadHeader reports a malformed header field (IHL, lengths, pointers).
+	ErrBadHeader = errors.New("packet: malformed header")
+	// ErrOptionSpace reports IPv4 options that do not fit the 40-byte limit.
+	ErrOptionSpace = errors.New("packet: options exceed 40 bytes")
+	// ErrChecksum reports a failed checksum verification.
+	ErrChecksum = errors.New("packet: bad checksum")
+)
+
+// addr4 converts a netip.Addr to its 4-byte form, reporting ok=false for
+// non-IPv4 addresses (including IPv4-mapped IPv6, which is unmapped first).
+func addr4(a netip.Addr) (b [4]byte, ok bool) {
+	a = a.Unmap()
+	if !a.Is4() {
+		return b, false
+	}
+	return a.As4(), true
+}

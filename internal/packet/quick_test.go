@@ -1,0 +1,209 @@
+package packet
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+// randomAddr draws an arbitrary IPv4 address.
+func randomAddr(r *rand.Rand) netip.Addr {
+	var b [4]byte
+	r.Read(b[:])
+	return netip.AddrFrom4(b)
+}
+
+// TestQuickIPv4RoundTrip property: Marshal then Decode recovers every
+// header field and the payload for arbitrary field values.
+func TestQuickIPv4RoundTrip(t *testing.T) {
+	f := func(tos uint8, id uint16, flags uint8, frag uint16, ttl uint8, payloadSeed []byte) bool {
+		r := rand.New(rand.NewSource(int64(id)<<16 | int64(tos)))
+		h := &IPv4{
+			TOS:        tos,
+			ID:         id,
+			Flags:      flags & 0x7,
+			FragOffset: frag & 0x1fff,
+			TTL:        ttl,
+			Protocol:   ProtocolICMP,
+			Src:        randomAddr(r),
+			Dst:        randomAddr(r),
+		}
+		if len(payloadSeed) > 1024 {
+			payloadSeed = payloadSeed[:1024]
+		}
+		wire, err := h.Marshal(payloadSeed)
+		if err != nil {
+			return false
+		}
+		var back IPv4
+		payload, err := back.Decode(wire)
+		if err != nil {
+			return false
+		}
+		return back.TOS == h.TOS && back.ID == h.ID && back.Flags == h.Flags &&
+			back.FragOffset == h.FragOffset && back.TTL == h.TTL &&
+			back.Src == h.Src && back.Dst == h.Dst &&
+			string(payload) == string(payloadSeed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecordRouteRoundTrip property: any partially-stamped RR option
+// survives Option → DecodeRecordRoute exactly.
+func TestQuickRecordRouteRoundTrip(t *testing.T) {
+	f := func(slots, stamps uint8, seed int64) bool {
+		n := int(slots)%MaxRRSlots + 1
+		k := int(stamps) % (n + 1)
+		r := rand.New(rand.NewSource(seed))
+		rr := NewRecordRoute(n)
+		for i := 0; i < k; i++ {
+			if !rr.Record(randomAddr(r)) {
+				return false
+			}
+		}
+		opt, err := rr.Option()
+		if err != nil {
+			return false
+		}
+		var back RecordRoute
+		if err := back.DecodeRecordRoute(opt); err != nil {
+			return false
+		}
+		if back.NumSlots() != n || back.RecordedCount() != k {
+			return false
+		}
+		for i, a := range rr.Recorded() {
+			if back.Recorded()[i] != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecordRouteMonotonicPointer property: Record never decreases
+// the pointer, never exceeds wire length + 1, and RecordedCount equals
+// the number of successful Record calls.
+func TestQuickRecordRouteMonotonicPointer(t *testing.T) {
+	f := func(slots uint8, tries uint8, seed int64) bool {
+		n := int(slots)%MaxRRSlots + 1
+		r := rand.New(rand.NewSource(seed))
+		rr := NewRecordRoute(n)
+		succeeded := 0
+		last := rr.Pointer
+		for i := 0; i < int(tries); i++ {
+			ok := rr.Record(randomAddr(r))
+			if ok {
+				succeeded++
+			}
+			if rr.Pointer < last {
+				return false
+			}
+			last = rr.Pointer
+		}
+		if succeeded != min(int(tries), n) {
+			return false
+		}
+		return rr.RecordedCount() == succeeded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickICMPRoundTrip property: echo messages round-trip for arbitrary
+// identifiers and payloads.
+func TestQuickICMPRoundTrip(t *testing.T) {
+	f := func(id, seq uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		m := NewEchoRequest(id, seq, payload)
+		var back ICMP
+		if err := back.Decode(m.Marshal()); err != nil {
+			return false
+		}
+		return back.ID == id && back.Seq == seq && string(back.Payload) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUDPRoundTrip property: UDP datagrams round-trip and verify
+// under their own pseudo-header.
+func TestQuickUDPRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte, seed int64) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		r := rand.New(rand.NewSource(seed))
+		src, dst := randomAddr(r), randomAddr(r)
+		u := &UDP{SrcPort: sp, DstPort: dp, Payload: payload}
+		wire, err := u.Marshal(src, dst)
+		if err != nil {
+			return false
+		}
+		var back UDP
+		if err := back.Decode(wire, src, dst); err != nil {
+			return false
+		}
+		return back.SrcPort == sp && back.DstPort == dp && string(back.Payload) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics property: the full-packet parser must reject
+// or accept arbitrary bytes without panicking.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	var p Parsed
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_ = p.Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeMutatedPackets property: flipping any single byte of a
+// valid packet either still decodes or fails cleanly — and a flip inside
+// the IP header (outside the checksum's own bytes) must be detected.
+func TestQuickDecodeMutatedPackets(t *testing.T) {
+	rr := NewRecordRoute(9)
+	h := &IPv4{TTL: 9, Protocol: ProtocolICMP, Src: addr("10.0.0.1"), Dst: addr("10.0.0.2")}
+	if err := h.SetRecordRoute(rr); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := h.Marshal(NewEchoRequest(3, 4, []byte("payload")).Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrLen := int(wire[0]&0xf) * 4
+	var p Parsed
+	for i := 0; i < len(wire); i++ {
+		buf := make([]byte, len(wire))
+		copy(buf, wire)
+		buf[i] ^= 0x55
+		err := p.Decode(buf)
+		if i < hdrLen && err == nil {
+			// Any in-header mutation flips the header sum... except a
+			// mutation that keeps the one's-complement sum identical,
+			// which a single XOR cannot do.
+			t.Errorf("mutation at header byte %d went undetected", i)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Source-route option types (RFC 791 §3.1). Both share the Record Route
+// wire layout (type, length, pointer, 4-byte slots); the semantic
+// difference is that routers rewrite the destination from the route
+// data as the packet travels.
+const (
+	// OptLSRR is Loose Source and Record Route: the packet must visit
+	// the listed hops in order but may take any path between them.
+	OptLSRR OptionType = 131
+	// OptSSRR is Strict Source and Record Route: consecutive listed
+	// hops must be directly connected.
+	OptSSRR OptionType = 137
+)
+
+// SourceRoute is a decoded LSRR/SSRR option. The historical reverse-
+// path measurement trick — route a probe *through* a remote hop and
+// back — depended on it; it is almost universally filtered today, which
+// is the 2005 tech report's headline and the contrast the Record Route
+// study draws (§2).
+//
+// Wire behaviour (RFC 791): when the packet arrives at its current
+// destination and the pointer is within the option, the router swaps
+// the destination address with the next slot (recording its own
+// address in that slot) and advances the pointer. When the pointer
+// exceeds the length, the destination is final.
+type SourceRoute struct {
+	// Strict marks SSRR (type 137) rather than LSRR (131).
+	Strict bool
+	// Pointer is the 1-based octet offset of the next hop slot
+	// (minimum 4).
+	Pointer uint8
+	// Slots holds the route data: unvisited next hops after the
+	// pointer, recorded addresses before it.
+	Slots []netip.Addr
+}
+
+// NewSourceRoute builds a source-route option visiting hops in order.
+func NewSourceRoute(strict bool, hops []netip.Addr) (*SourceRoute, error) {
+	if len(hops) < 1 || len(hops) > MaxRRSlots {
+		return nil, fmt.Errorf("%w: source route with %d hops", ErrBadHeader, len(hops))
+	}
+	sr := &SourceRoute{Strict: strict, Pointer: rrFirstPointer, Slots: make([]netip.Addr, len(hops))}
+	copy(sr.Slots, hops)
+	return sr, nil
+}
+
+// Type returns the option's wire type.
+func (s *SourceRoute) Type() OptionType {
+	if s.Strict {
+		return OptSSRR
+	}
+	return OptLSRR
+}
+
+// wireLen returns the option length octet value.
+func (s *SourceRoute) wireLen() int { return rrFixedLen + 4*len(s.Slots) }
+
+// Exhausted reports whether every listed hop has been visited: the
+// current destination is final.
+func (s *SourceRoute) Exhausted() bool { return int(s.Pointer) > s.wireLen() }
+
+// NextHop returns the next unvisited hop, or an invalid address when
+// the route is exhausted.
+func (s *SourceRoute) NextHop() netip.Addr {
+	idx := s.slotIndex()
+	if idx < 0 || idx >= len(s.Slots) {
+		return netip.Addr{}
+	}
+	return s.Slots[idx]
+}
+
+// slotIndex converts the pointer to a slot index.
+func (s *SourceRoute) slotIndex() int {
+	if int(s.Pointer) < rrFirstPointer {
+		return -1
+	}
+	return (int(s.Pointer) - rrFirstPointer) / 4
+}
+
+// Advance consumes the next hop: the caller (a router that is the
+// packet's current destination) records recordAddr — its own address on
+// the outgoing interface — in the slot and moves the pointer, returning
+// the new destination. ok is false when the route was exhausted or the
+// address is not IPv4.
+func (s *SourceRoute) Advance(recordAddr netip.Addr) (newDst netip.Addr, ok bool) {
+	idx := s.slotIndex()
+	if idx < 0 || idx >= len(s.Slots) || s.Exhausted() {
+		return netip.Addr{}, false
+	}
+	recordAddr = recordAddr.Unmap()
+	if !recordAddr.Is4() {
+		return netip.Addr{}, false
+	}
+	newDst = s.Slots[idx]
+	s.Slots[idx] = recordAddr
+	s.Pointer += 4
+	return newDst, true
+}
+
+// Recorded returns the already-visited slots (recorded addresses).
+func (s *SourceRoute) Recorded() []netip.Addr {
+	idx := s.slotIndex()
+	if idx < 0 {
+		return nil
+	}
+	if idx > len(s.Slots) {
+		idx = len(s.Slots)
+	}
+	return s.Slots[:idx]
+}
+
+// Option serializes the source route to a raw TLV.
+func (s *SourceRoute) Option() (Option, error) {
+	if len(s.Slots) < 1 || len(s.Slots) > MaxRRSlots {
+		return Option{}, fmt.Errorf("%w: source route with %d slots", ErrBadHeader, len(s.Slots))
+	}
+	data := make([]byte, 1+4*len(s.Slots))
+	data[0] = s.Pointer
+	for i, a := range s.Slots {
+		b, ok := addr4(a)
+		if !ok {
+			return Option{}, fmt.Errorf("%w: slot %d is %v", ErrNotIPv4, i, a)
+		}
+		copy(data[1+4*i:], b[:])
+	}
+	return Option{Type: s.Type(), Data: data}, nil
+}
+
+// DecodeSourceRoute parses a raw LSRR/SSRR option into the receiver.
+func (s *SourceRoute) DecodeSourceRoute(o Option) error {
+	switch o.Type {
+	case OptLSRR:
+		s.Strict = false
+	case OptSSRR:
+		s.Strict = true
+	default:
+		return fmt.Errorf("%w: option type %v is not a source route", ErrBadHeader, o.Type)
+	}
+	if len(o.Data) < 1 || (len(o.Data)-1)%4 != 0 {
+		return fmt.Errorf("%w: source route data length %d", ErrBadHeader, len(o.Data))
+	}
+	n := (len(o.Data) - 1) / 4
+	if n < 1 || n > MaxRRSlots {
+		return fmt.Errorf("%w: source route with %d slots", ErrBadHeader, n)
+	}
+	s.Pointer = o.Data[0]
+	if s.Pointer < rrFirstPointer || (s.Pointer-rrFirstPointer)%4 != 0 {
+		return fmt.Errorf("%w: source route pointer %d", ErrBadHeader, s.Pointer)
+	}
+	if cap(s.Slots) >= n {
+		s.Slots = s.Slots[:n]
+	} else {
+		s.Slots = make([]netip.Addr, n)
+	}
+	for i := 0; i < n; i++ {
+		var b [4]byte
+		copy(b[:], o.Data[1+4*i:])
+		s.Slots[i] = netip.AddrFrom4(b)
+	}
+	return nil
+}
+
+// FindSourceRoute locates the first LSRR/SSRR option in opts and
+// decodes it into s, reporting presence.
+func (s *SourceRoute) FindSourceRoute(opts []Option) (bool, error) {
+	for _, o := range opts {
+		if o.Type == OptLSRR || o.Type == OptSSRR {
+			if err := s.DecodeSourceRoute(o); err != nil {
+				return true, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// SourceRouteOption finds the header's source-route option, if any.
+func (h *IPv4) SourceRouteOption(sr *SourceRoute) (bool, error) {
+	return sr.FindSourceRoute(h.Options)
+}
+
+// SetSourceRoute replaces any existing source-route option in the
+// header with the serialization of sr (or appends one).
+func (h *IPv4) SetSourceRoute(sr *SourceRoute) error {
+	opt, err := sr.Option()
+	if err != nil {
+		return err
+	}
+	for i := range h.Options {
+		if h.Options[i].Type == OptLSRR || h.Options[i].Type == OptSSRR {
+			h.Options[i] = opt
+			return nil
+		}
+	}
+	h.Options = append(h.Options, opt)
+	return nil
+}

@@ -1,0 +1,110 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestSourceRouteAdvance(t *testing.T) {
+	hops := []netip.Addr{addr("10.1.0.1"), addr("10.2.0.1")}
+	sr, err := NewSourceRoute(false, hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Exhausted() {
+		t.Fatal("fresh route exhausted")
+	}
+	if got := sr.NextHop(); got != addr("10.1.0.1") {
+		t.Fatalf("NextHop = %v", got)
+	}
+	dst, ok := sr.Advance(addr("192.0.2.1"))
+	if !ok || dst != addr("10.1.0.1") {
+		t.Fatalf("Advance = %v, %v", dst, ok)
+	}
+	if got := sr.Recorded(); len(got) != 1 || got[0] != addr("192.0.2.1") {
+		t.Errorf("Recorded = %v", got)
+	}
+	dst, ok = sr.Advance(addr("192.0.2.2"))
+	if !ok || dst != addr("10.2.0.1") {
+		t.Fatalf("second Advance = %v, %v", dst, ok)
+	}
+	if !sr.Exhausted() {
+		t.Error("route not exhausted after visiting every hop")
+	}
+	if _, ok := sr.Advance(addr("192.0.2.3")); ok {
+		t.Error("Advance succeeded on exhausted route")
+	}
+}
+
+func TestSourceRouteRoundTrip(t *testing.T) {
+	sr, err := NewSourceRoute(true, []netip.Addr{addr("10.1.0.1"), addr("10.2.0.1"), addr("10.3.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Advance(addr("192.0.2.1"))
+	opt, err := sr.Option()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Type != OptSSRR {
+		t.Fatalf("type = %v", opt.Type)
+	}
+	var back SourceRoute
+	if err := back.DecodeSourceRoute(opt); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Strict || back.Pointer != sr.Pointer {
+		t.Errorf("back = %+v", back)
+	}
+	if back.NextHop() != addr("10.2.0.1") {
+		t.Errorf("NextHop after decode = %v", back.NextHop())
+	}
+}
+
+func TestSourceRouteInHeader(t *testing.T) {
+	sr, err := NewSourceRoute(false, []netip.Addr{addr("10.5.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &IPv4{TTL: 9, Protocol: ProtocolICMP, Src: addr("10.0.0.1"), Dst: addr("10.9.0.1")}
+	if err := h.SetSourceRoute(sr); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backH IPv4
+	if _, err := backH.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+	var back SourceRoute
+	found, err := backH.SourceRouteOption(&back)
+	if !found || err != nil {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if back.NextHop() != addr("10.5.0.1") {
+		t.Errorf("NextHop = %v", back.NextHop())
+	}
+}
+
+func TestSourceRouteRejectsMalformed(t *testing.T) {
+	var sr SourceRoute
+	oversized := make([]byte, 1+4*10)
+	oversized[0] = 4
+	cases := []Option{
+		{Type: OptNOP},
+		{Type: OptLSRR, Data: nil},
+		{Type: OptLSRR, Data: []byte{4, 1, 2}},
+		{Type: OptSSRR, Data: []byte{2, 0, 0, 0, 0}}, // pointer below minimum
+		{Type: OptLSRR, Data: oversized},
+	}
+	for i, o := range cases {
+		if err := sr.DecodeSourceRoute(o); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewSourceRoute(false, nil); err == nil {
+		t.Error("empty hop list accepted")
+	}
+}

@@ -1,0 +1,164 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimestampOnlyRoundTrip(t *testing.T) {
+	ts := NewTimestamp(TSOnly, 4)
+	if !ts.Record(netip.Addr{}, 1000) || !ts.Record(netip.Addr{}, 2000) {
+		t.Fatal("Record failed")
+	}
+	opt, err := ts.Option()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Timestamp
+	if err := back.DecodeTimestamp(opt); err != nil {
+		t.Fatal(err)
+	}
+	if back.Flag != TSOnly || back.RecordedCount() != 2 {
+		t.Fatalf("flag=%v recorded=%d", back.Flag, back.RecordedCount())
+	}
+	if back.Recorded()[1].Millis != 2000 {
+		t.Errorf("millis = %d", back.Recorded()[1].Millis)
+	}
+}
+
+func TestTimestampAddrRoundTrip(t *testing.T) {
+	ts := NewTimestamp(TSAddr, 3)
+	ts.Record(addr("10.0.0.1"), 5)
+	ts.Record(addr("10.0.0.2"), 9)
+	opt, err := ts.Option()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Timestamp
+	if err := back.DecodeTimestamp(opt); err != nil {
+		t.Fatal(err)
+	}
+	got := back.Recorded()
+	if len(got) != 2 || got[0].Addr != addr("10.0.0.1") || got[1].Millis != 9 {
+		t.Errorf("recorded = %+v", got)
+	}
+}
+
+func TestTimestampOverflowCounter(t *testing.T) {
+	ts := NewTimestamp(TSAddr, 1)
+	if !ts.Record(addr("10.0.0.1"), 1) {
+		t.Fatal("first record failed")
+	}
+	for i := 0; i < 20; i++ {
+		if ts.Record(addr("10.0.0.2"), 2) {
+			t.Fatal("record succeeded on full option")
+		}
+	}
+	if ts.Overflow != 15 {
+		t.Errorf("overflow = %d, want saturated 15", ts.Overflow)
+	}
+}
+
+func TestTimestampPrespecifiedMatchesInOrder(t *testing.T) {
+	a1, a2 := addr("10.0.0.1"), addr("10.0.0.2")
+	ts := NewTimestampPrespecified([]netip.Addr{a1, a2})
+	// Wrong hop first: not our slot, no movement.
+	if ts.Record(a2, 100) {
+		t.Error("out-of-order prespecified hop recorded")
+	}
+	if !ts.Record(a1, 100) || !ts.Record(a2, 200) {
+		t.Fatal("in-order recording failed")
+	}
+	if ts.Recorded()[1].Millis != 200 {
+		t.Errorf("entries = %+v", ts.Recorded())
+	}
+}
+
+func TestTimestampInHeader(t *testing.T) {
+	ts := NewTimestamp(TSAddr, 3)
+	ts.Record(addr("10.0.0.1"), 77)
+	h := &IPv4{TTL: 9, Protocol: ProtocolICMP, Src: addr("10.0.0.9"), Dst: addr("10.0.0.8")}
+	if err := h.SetTimestamp(ts); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := h.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back IPv4
+	if _, err := back.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+	var tsBack Timestamp
+	found, err := back.TimestampOption(&tsBack)
+	if !found || err != nil {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if tsBack.RecordedCount() != 1 || tsBack.Recorded()[0].Millis != 77 {
+		t.Errorf("recorded = %+v", tsBack.Recorded())
+	}
+}
+
+func TestTimestampRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		opt  Option
+	}{
+		{"wrong type", Option{Type: OptNOP}},
+		{"short data", Option{Type: OptTimestamp, Data: []byte{5}}},
+		{"bad flag", Option{Type: OptTimestamp, Data: []byte{5, 2}}},
+		{"ragged body", Option{Type: OptTimestamp, Data: []byte{5, 0, 1, 2, 3}}},
+		{"bad pointer", Option{Type: OptTimestamp, Data: []byte{2, 0, 1, 2, 3, 4}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var ts Timestamp
+			if err := ts.DecodeTimestamp(tc.opt); err == nil {
+				t.Error("malformed option accepted")
+			}
+		})
+	}
+}
+
+func TestTimestampCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized timestamp option did not panic")
+		}
+	}()
+	NewTimestamp(TSAddr, 5) // 4 + 5*8 = 44 > 40
+}
+
+func TestQuickTimestampRoundTrip(t *testing.T) {
+	f := func(nRaw, kRaw uint8, base uint32) bool {
+		n := int(nRaw)%4 + 1 // TSAddr fits at most 4 slots
+		k := int(kRaw) % (n + 1)
+		ts := NewTimestamp(TSAddr, n)
+		for i := 0; i < k; i++ {
+			if !ts.Record(addr("10.0.0.1"), base+uint32(i)) {
+				return false
+			}
+		}
+		opt, err := ts.Option()
+		if err != nil {
+			return false
+		}
+		var back Timestamp
+		if err := back.DecodeTimestamp(opt); err != nil {
+			return false
+		}
+		if back.RecordedCount() != k {
+			return false
+		}
+		for i, e := range back.Recorded() {
+			if e.Millis != base+uint32(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// udpFixedLen is the length of a UDP header.
+const udpFixedLen = 8
+
+// UDP is a decoded UDP header plus payload.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+	// Length and Checksum reflect the last decode; encoders compute them.
+	Length   uint16
+	Checksum uint16
+}
+
+// AppendTo encodes the datagram onto b. src and dst are needed for the
+// pseudo-header checksum. A computed checksum of zero is transmitted as
+// 0xffff per RFC 768.
+func (u *UDP) AppendTo(b []byte, src, dst netip.Addr) ([]byte, error) {
+	length := udpFixedLen + len(u.Payload)
+	if length > 0xffff {
+		return nil, fmt.Errorf("%w: UDP length %d", ErrBadHeader, length)
+	}
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, uint16(length))
+	b = append(b, 0, 0) // checksum patched below
+	b = append(b, u.Payload...)
+	acc := pseudoHeaderSum(src, dst, ProtocolUDP, length)
+	cs := foldChecksum(sumWords(acc, b[start:]))
+	if cs == 0 {
+		cs = 0xffff
+	}
+	binary.BigEndian.PutUint16(b[start+6:], cs)
+	return b, nil
+}
+
+// Marshal encodes the datagram into a fresh buffer.
+func (u *UDP) Marshal(src, dst netip.Addr) ([]byte, error) {
+	return u.AppendTo(make([]byte, 0, udpFixedLen+len(u.Payload)), src, dst)
+}
+
+// Decode parses a UDP datagram into the receiver. src and dst are needed
+// to verify the pseudo-header checksum; a zero wire checksum means the
+// sender disabled checksumming and verification is skipped. Payload
+// aliases the input.
+func (u *UDP) Decode(data []byte, src, dst netip.Addr) error {
+	if len(data) < udpFixedLen {
+		return fmt.Errorf("%w: %d bytes of UDP", ErrTruncated, len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data)
+	u.DstPort = binary.BigEndian.Uint16(data[2:])
+	u.Length = binary.BigEndian.Uint16(data[4:])
+	u.Checksum = binary.BigEndian.Uint16(data[6:])
+	if int(u.Length) < udpFixedLen || int(u.Length) > len(data) {
+		return fmt.Errorf("%w: UDP length %d, have %d", ErrBadHeader, u.Length, len(data))
+	}
+	if u.Checksum != 0 {
+		acc := pseudoHeaderSum(src, dst, ProtocolUDP, int(u.Length))
+		if foldChecksum(sumWords(acc, data[:u.Length])) != 0 {
+			return fmt.Errorf("%w: UDP", ErrChecksum)
+		}
+	}
+	u.Payload = data[udpFixedLen:u.Length]
+	return nil
+}

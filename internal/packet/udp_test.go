@@ -1,0 +1,86 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestUDPRoundTrip(t *testing.T) {
+	src, dst := addr("192.0.2.5"), addr("203.0.113.80")
+	u := &UDP{SrcPort: 33434, DstPort: 53001, Payload: []byte("rr-udp-probe")}
+	wire, err := u.Marshal(src, dst)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back UDP
+	if err := back.Decode(wire, src, dst); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if back.SrcPort != 33434 || back.DstPort != 53001 {
+		t.Errorf("ports = %d/%d", back.SrcPort, back.DstPort)
+	}
+	if string(back.Payload) != "rr-udp-probe" {
+		t.Errorf("payload %q", back.Payload)
+	}
+}
+
+func TestUDPChecksumCoversPseudoHeader(t *testing.T) {
+	src, dst := addr("10.0.0.1"), addr("10.0.0.2")
+	u := &UDP{SrcPort: 1, DstPort: 2, Payload: []byte("x")}
+	wire, err := u.Marshal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back UDP
+	// Decoding against the wrong destination address must fail: the
+	// pseudo-header binds the datagram to its addresses.
+	if err := back.Decode(wire, src, addr("10.0.0.3")); !errors.Is(err, ErrChecksum) {
+		t.Errorf("err = %v, want ErrChecksum for wrong pseudo-header", err)
+	}
+	if err := back.Decode(wire, src, dst); err != nil {
+		t.Errorf("correct addresses rejected: %v", err)
+	}
+}
+
+func TestUDPZeroChecksumSkipsVerification(t *testing.T) {
+	src, dst := addr("10.0.0.1"), addr("10.0.0.2")
+	u := &UDP{SrcPort: 7, DstPort: 9, Payload: []byte("nochk")}
+	wire, err := u.Marshal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[6], wire[7] = 0, 0 // sender disabled checksumming
+	var back UDP
+	if err := back.Decode(wire, addr("1.2.3.4"), addr("5.6.7.8")); err != nil {
+		t.Errorf("zero checksum rejected: %v", err)
+	}
+}
+
+func TestUDPDecodeErrors(t *testing.T) {
+	var back UDP
+	if err := back.Decode([]byte{1, 2, 3}, addr("10.0.0.1"), addr("10.0.0.2")); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short buffer: err = %v", err)
+	}
+	// Length field larger than the buffer.
+	wire := []byte{0, 1, 0, 2, 0, 200, 0, 0}
+	if err := back.Decode(wire, addr("10.0.0.1"), addr("10.0.0.2")); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("oversized length: err = %v", err)
+	}
+}
+
+func TestUDPLengthTrimsTrailingBytes(t *testing.T) {
+	src, dst := addr("10.0.0.1"), addr("10.0.0.2")
+	u := &UDP{SrcPort: 5, DstPort: 6, Payload: []byte("abc")}
+	wire, err := u.Marshal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := append(wire, 0xff, 0xff)
+	var back UDP
+	if err := back.Decode(padded, src, dst); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if string(back.Payload) != "abc" {
+		t.Errorf("payload %q, want %q", back.Payload, "abc")
+	}
+}

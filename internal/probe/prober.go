@@ -1,0 +1,333 @@
+package probe
+
+import (
+	"net/netip"
+	"time"
+
+	"recordroute/internal/packet"
+)
+
+// Options controls batch pacing.
+type Options struct {
+	// Rate is the send rate in probes per second; 0 means DefaultRate.
+	Rate float64
+	// Timeout is how long to wait for each probe's response; 0 means
+	// DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Default pacing values; 20 pps is the rate the paper's studies used.
+const (
+	DefaultRate    = 20.0
+	DefaultTimeout = 2 * time.Second
+)
+
+func (o Options) rate() float64 {
+	if o.Rate <= 0 {
+		return DefaultRate
+	}
+	return o.Rate
+}
+
+func (o Options) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return DefaultTimeout
+	}
+	return o.Timeout
+}
+
+// Prober sends probes over a Transport and matches responses. A Prober
+// is single-threaded: all callbacks arrive from the transport's event
+// context. Create one Prober per vantage point with a distinct id.
+type Prober struct {
+	tr      Transport
+	id      uint16
+	nextSeq uint16
+	pending map[uint16]*pendingProbe
+
+	// counters for diagnostics
+	sent, matched, timedOut, ignored uint64
+
+	// scratch decode state
+	parsed packet.Parsed
+	quoted packet.IPv4
+	rr     packet.RecordRoute
+	ts     packet.Timestamp
+}
+
+type pendingProbe struct {
+	spec   Spec
+	seq    uint16
+	sentAt time.Duration
+	done   func(Result)
+}
+
+// New returns a Prober for the transport using the given ICMP identifier.
+func New(tr Transport, id uint16) *Prober {
+	p := &Prober{tr: tr, id: id, pending: make(map[uint16]*pendingProbe)}
+	tr.SetReceiver(p.receive)
+	return p
+}
+
+// Schedule defers fn on the transport clock; measurement layers use it
+// to stagger work without reaching into the transport.
+func (p *Prober) Schedule(d time.Duration, fn func()) { p.tr.Schedule(d, fn) }
+
+// Now returns the transport clock.
+func (p *Prober) Now() time.Duration { return p.tr.Now() }
+
+// LocalAddr returns the probing source address.
+func (p *Prober) LocalAddr() netip.Addr { return p.tr.LocalAddr() }
+
+// Stats returns cumulative (sent, matched, timed out, ignored) counts.
+func (p *Prober) Stats() (sent, matched, timedOut, ignored uint64) {
+	return p.sent, p.matched, p.timedOut, p.ignored
+}
+
+// Outstanding returns the number of probes awaiting response or timeout.
+func (p *Prober) Outstanding() int { return len(p.pending) }
+
+// StartOne sends a single probe now and calls done exactly once, with a
+// response or a timeout result. Used directly by sequential measurements
+// (traceroute) that chain probes from callbacks.
+func (p *Prober) StartOne(spec Spec, timeout time.Duration, done func(Result)) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	seq := p.allocSeq()
+	wire, err := spec.build(p.tr.LocalAddr(), p.id, seq)
+	if err != nil {
+		// Malformed spec (e.g. non-IPv4 destination): report as an
+		// immediate timeout rather than panicking mid-study.
+		done(Result{Spec: spec, Seq: seq, SentAt: p.tr.Now(), Type: NoResponse})
+		return
+	}
+	pp := &pendingProbe{spec: spec, seq: seq, sentAt: p.tr.Now(), done: done}
+	p.pending[seq] = pp
+	p.sent++
+	p.tr.Inject(wire)
+	p.tr.Schedule(timeout, func() {
+		if p.pending[seq] == pp {
+			delete(p.pending, seq)
+			p.timedOut++
+			done(Result{Spec: spec, Seq: seq, SentAt: pp.sentAt, Type: NoResponse})
+		}
+	})
+}
+
+// StartBatch paces the probes out in order at opts.Rate and calls done
+// once with results in spec order after every probe has resolved.
+func (p *Prober) StartBatch(specs []Spec, opts Options, done func([]Result)) {
+	if len(specs) == 0 {
+		p.tr.Schedule(0, func() { done(nil) })
+		return
+	}
+	results := make([]Result, len(specs))
+	remaining := len(specs)
+	interval := time.Duration(float64(time.Second) / opts.rate())
+	for i, spec := range specs {
+		i, spec := i, spec
+		p.tr.Schedule(time.Duration(i)*interval, func() {
+			p.StartOne(spec, opts.timeout(), func(r Result) {
+				results[i] = r
+				remaining--
+				if remaining == 0 {
+					done(results)
+				}
+			})
+		})
+	}
+}
+
+// ID returns the prober's ICMP identifier.
+func (p *Prober) ID() uint16 { return p.id }
+
+// Expect registers an externally-transmitted probe for matching: the
+// reverse-traceroute system sends source-spoofed probes from one vantage
+// point whose replies arrive at another. The returned (id, seq) must be
+// embedded by the actual sender (see SendSpoofed). done fires exactly
+// once with the matched response or a timeout.
+func (p *Prober) Expect(spec Spec, timeout time.Duration, done func(Result)) (id, seq uint16) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	seq = p.allocSeq()
+	pp := &pendingProbe{spec: spec, seq: seq, sentAt: p.tr.Now(), done: done}
+	p.pending[seq] = pp
+	p.tr.Schedule(timeout, func() {
+		if p.pending[seq] == pp {
+			delete(p.pending, seq)
+			p.timedOut++
+			done(Result{Spec: spec, Seq: seq, SentAt: pp.sentAt, Type: NoResponse})
+		}
+	})
+	return p.id, seq
+}
+
+// SendSpoofed transmits a probe from this prober's vantage point with a
+// spoofed source address, carrying identifiers allocated by the prober
+// that expects the reply (via Expect). The spoof reaches the network
+// exactly as a raw socket would send it.
+func (p *Prober) SendSpoofed(spec Spec, spoofedSrc netip.Addr, id, seq uint16) error {
+	wire, err := spec.build(spoofedSrc, id, seq)
+	if err != nil {
+		return err
+	}
+	p.sent++
+	p.tr.Inject(wire)
+	return nil
+}
+
+// allocSeq returns the next free sequence number.
+func (p *Prober) allocSeq() uint16 {
+	for {
+		seq := p.nextSeq
+		p.nextSeq++
+		if _, busy := p.pending[seq]; !busy {
+			return seq
+		}
+	}
+}
+
+// receive matches an incoming packet against outstanding probes.
+func (p *Prober) receive(at time.Duration, pkt []byte) {
+	if err := p.parsed.Decode(pkt); err != nil || !p.parsed.HasICMP {
+		p.ignored++
+		return
+	}
+	icmp := &p.parsed.ICMP
+	switch {
+	case icmp.Type == packet.ICMPEchoReply:
+		p.matchEchoReply(at)
+	case icmp.Type.IsError():
+		p.matchError(at)
+	default:
+		p.ignored++
+	}
+}
+
+// matchEchoReply resolves a probe from a direct echo reply.
+func (p *Prober) matchEchoReply(at time.Duration) {
+	icmp := &p.parsed.ICMP
+	if icmp.ID != p.id {
+		p.ignored++
+		return
+	}
+	pp := p.pending[icmp.Seq]
+	if pp == nil {
+		p.ignored++
+		return
+	}
+	res := Result{
+		Spec:      pp.spec,
+		Seq:       pp.seq,
+		SentAt:    pp.sentAt,
+		RcvdAt:    at,
+		Type:      EchoReply,
+		From:      p.parsed.IP.Src,
+		ReplyIPID: p.parsed.IP.ID,
+	}
+	p.extractRR(&p.parsed.IP, &res, false)
+	p.complete(pp, res)
+}
+
+// matchError resolves a probe from an ICMP error quoting it.
+func (p *Prober) matchError(at time.Duration) {
+	icmp := &p.parsed.ICMP
+	transport, err := icmp.QuotedDatagram(&p.quoted)
+	if err != nil {
+		p.ignored++
+		return
+	}
+	var seq uint16
+	switch p.quoted.Protocol {
+	case packet.ProtocolICMP:
+		t, id, s, ok := packet.QuotedEcho(transport)
+		if !ok || t != packet.ICMPEchoRequest || id != p.id {
+			p.ignored++
+			return
+		}
+		seq = s
+	case packet.ProtocolUDP:
+		sp, _, ok := packet.QuotedUDP(transport)
+		if !ok {
+			p.ignored++
+			return
+		}
+		s, ok := seqFromUDPSrcPort(sp)
+		if !ok {
+			p.ignored++
+			return
+		}
+		seq = s
+	default:
+		p.ignored++
+		return
+	}
+	pp := p.pending[seq]
+	if pp == nil || !quotedDstMatches(pp.spec, p.quoted.Dst) {
+		p.ignored++
+		return
+	}
+	res := Result{
+		Spec:      pp.spec,
+		Seq:       pp.seq,
+		SentAt:    pp.sentAt,
+		RcvdAt:    at,
+		From:      p.parsed.IP.Src,
+		ReplyIPID: p.parsed.IP.ID,
+	}
+	switch {
+	case icmp.Type == packet.ICMPTimeExceeded:
+		res.Type = TimeExceeded
+	case icmp.Type == packet.ICMPDestUnreach && icmp.Code == packet.CodePortUnreachable:
+		res.Type = PortUnreachable
+	default:
+		res.Type = OtherResponse
+	}
+	p.extractRR(&p.quoted, &res, true)
+	p.complete(pp, res)
+}
+
+// quotedDstMatches reports whether a quoted offending destination is
+// consistent with the probe: normally the probed address, but a
+// source-routed probe travels addressed to its via hops (and, once
+// rewritten, the destination itself).
+func quotedDstMatches(spec Spec, quotedDst netip.Addr) bool {
+	if quotedDst == spec.Dst {
+		return true
+	}
+	for _, v := range spec.Via {
+		if quotedDst == v {
+			return true
+		}
+	}
+	return false
+}
+
+// extractRR copies the Record Route and Timestamp contents out of hdr
+// into res.
+func (p *Prober) extractRR(hdr *packet.IPv4, res *Result, quoted bool) {
+	if found, err := hdr.RecordRouteOption(&p.rr); found && err == nil {
+		res.HasRR = true
+		res.QuotedRR = quoted
+		res.RR = append([]netip.Addr(nil), p.rr.Recorded()...)
+		res.RRTotalSlots = p.rr.NumSlots()
+		res.RRFull = p.rr.Full()
+	}
+	if found, err := hdr.TimestampOption(&p.ts); found && err == nil {
+		res.TS = append([]packet.TSEntry(nil), p.ts.Recorded()...)
+		res.TSOverflow = p.ts.Overflow
+	}
+}
+
+// complete finalizes a matched probe.
+func (p *Prober) complete(pp *pendingProbe, res Result) {
+	if p.pending[pp.seq] != pp {
+		p.ignored++ // duplicate response after timeout
+		return
+	}
+	delete(p.pending, pp.seq)
+	p.matched++
+	pp.done(res)
+}

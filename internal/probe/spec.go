@@ -1,0 +1,278 @@
+package probe
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"recordroute/internal/packet"
+)
+
+// Kind selects the probe type.
+type Kind int
+
+const (
+	// Ping is a plain ICMP echo request.
+	Ping Kind = iota
+	// PingRR is an echo request carrying a Record Route option
+	// (the paper's ping-RR).
+	PingRR
+	// PingRRUDP is a UDP datagram to a high closed port carrying a
+	// Record Route option; the port-unreachable error quotes the option
+	// (the paper's ping-RRudp, §3.3).
+	PingRRUDP
+	// TTLPing is a TTL-limited plain echo request (a traceroute probe).
+	TTLPing
+	// TTLPingRR is a TTL-limited ping-RR (§4.2's low-impact probe).
+	TTLPingRR
+	// PingTS is an echo request carrying an Internet Timestamp option
+	// in address+timestamp mode (four slots) — the companion IP-options
+	// primitive the paper's related work measures with.
+	PingTS
+	// PingLSRR is an echo request loose-source-routed through Via to
+	// the destination — the 2005 tech report's unusable primitive,
+	// kept for the historical contrast with Record Route.
+	PingLSRR
+)
+
+// String names the probe kind.
+func (k Kind) String() string {
+	switch k {
+	case Ping:
+		return "ping"
+	case PingRR:
+		return "ping-rr"
+	case PingRRUDP:
+		return "ping-rr-udp"
+	case TTLPing:
+		return "ttl-ping"
+	case TTLPingRR:
+		return "ttl-ping-rr"
+	case PingTS:
+		return "ping-ts"
+	case PingLSRR:
+		return "ping-lsrr"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// HasRR reports whether the kind carries a Record Route option.
+func (k Kind) HasRR() bool { return k == PingRR || k == PingRRUDP || k == TTLPingRR }
+
+// Default probe parameters.
+const (
+	DefaultTTL     = 64
+	DefaultRRSlots = packet.MaxRRSlots
+	// DefaultUDPPort is the base high destination port for ping-RRudp.
+	DefaultUDPPort = 40967
+	// udpSrcPortBase spreads the probe sequence number over source
+	// ports so quoted UDP headers identify the probe.
+	udpSrcPortBase = 20000
+)
+
+// Spec describes one probe to send.
+type Spec struct {
+	// Dst is the probed destination.
+	Dst netip.Addr
+	// Kind selects the probe type.
+	Kind Kind
+	// TTL overrides the initial TTL; 0 means DefaultTTL.
+	TTL uint8
+	// RRSlots overrides the Record Route slot count for RR kinds;
+	// 0 means DefaultRRSlots (nine).
+	RRSlots int
+	// UDPDstPort overrides the UDP destination port; 0 means
+	// DefaultUDPPort.
+	UDPDstPort uint16
+	// Via lists intermediate hops for PingLSRR; the packet is first
+	// addressed to Via[0] and source-routed onward to Dst.
+	Via []netip.Addr
+}
+
+// ttl returns the effective initial TTL.
+func (s Spec) ttl() uint8 {
+	if s.TTL == 0 {
+		return DefaultTTL
+	}
+	return s.TTL
+}
+
+// rrSlots returns the effective RR slot count.
+func (s Spec) rrSlots() int {
+	if s.RRSlots == 0 {
+		return DefaultRRSlots
+	}
+	return s.RRSlots
+}
+
+// udpDstPort returns the effective UDP destination port.
+func (s Spec) udpDstPort() uint16 {
+	if s.UDPDstPort == 0 {
+		return DefaultUDPPort
+	}
+	return s.UDPDstPort
+}
+
+// build serializes the probe packet for the given source, ICMP
+// identifier, and sequence number.
+func (s Spec) build(src netip.Addr, id, seq uint16) ([]byte, error) {
+	hdr := packet.IPv4{
+		TTL: s.ttl(),
+		// The IP ID of the probe is the sequence number: harmless,
+		// useful in captures.
+		ID:  seq,
+		Src: src,
+		Dst: s.Dst,
+	}
+	if s.Kind.HasRR() {
+		if err := hdr.SetRecordRoute(packet.NewRecordRoute(s.rrSlots())); err != nil {
+			return nil, err
+		}
+	}
+	if s.Kind == PingTS {
+		// TSAddr mode fits at most four (address, timestamp) pairs.
+		if err := hdr.SetTimestamp(packet.NewTimestamp(packet.TSAddr, 4)); err != nil {
+			return nil, err
+		}
+	}
+	if s.Kind == PingLSRR {
+		if len(s.Via) == 0 {
+			return nil, fmt.Errorf("probe: ping-lsrr needs at least one via hop")
+		}
+		route := append(append([]netip.Addr(nil), s.Via[1:]...), s.Dst)
+		sr, err := packet.NewSourceRoute(false, route)
+		if err != nil {
+			return nil, err
+		}
+		if err := hdr.SetSourceRoute(sr); err != nil {
+			return nil, err
+		}
+		hdr.Dst = s.Via[0]
+	}
+	switch s.Kind {
+	case Ping, PingRR, TTLPing, TTLPingRR, PingTS, PingLSRR:
+		hdr.Protocol = packet.ProtocolICMP
+		return hdr.Marshal(packet.NewEchoRequest(id, seq, nil).Marshal())
+	case PingRRUDP:
+		hdr.Protocol = packet.ProtocolUDP
+		u := packet.UDP{SrcPort: udpSrcPort(seq), DstPort: s.udpDstPort()}
+		transport, err := u.Marshal(src, s.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return hdr.Marshal(transport)
+	default:
+		return nil, fmt.Errorf("probe: unknown kind %v", s.Kind)
+	}
+}
+
+// udpSrcPort encodes a probe sequence number as a UDP source port.
+func udpSrcPort(seq uint16) uint16 { return udpSrcPortBase + seq%40000 }
+
+// seqFromUDPSrcPort inverts udpSrcPort; ok is false for ports outside
+// the probe range.
+func seqFromUDPSrcPort(port uint16) (uint16, bool) {
+	if port < udpSrcPortBase || port >= udpSrcPortBase+40000 {
+		return 0, false
+	}
+	return port - udpSrcPortBase, true
+}
+
+// ResponseType classifies what came back for a probe.
+type ResponseType int
+
+const (
+	// NoResponse means the probe timed out.
+	NoResponse ResponseType = iota
+	// EchoReply is a normal ping response.
+	EchoReply
+	// TimeExceeded is an ICMP TTL-expiry error.
+	TimeExceeded
+	// PortUnreachable is the ping-RRudp success response.
+	PortUnreachable
+	// OtherResponse is any other matched ICMP message.
+	OtherResponse
+)
+
+// String names the response type.
+func (r ResponseType) String() string {
+	switch r {
+	case NoResponse:
+		return "timeout"
+	case EchoReply:
+		return "echo-reply"
+	case TimeExceeded:
+		return "time-exceeded"
+	case PortUnreachable:
+		return "port-unreachable"
+	case OtherResponse:
+		return "other"
+	default:
+		return fmt.Sprintf("resp(%d)", int(r))
+	}
+}
+
+// Result reports the outcome of one probe.
+type Result struct {
+	Spec
+	// Seq is the engine-assigned sequence number.
+	Seq uint16
+	// SentAt and RcvdAt are transport-clock times; RcvdAt is zero on
+	// timeout.
+	SentAt, RcvdAt time.Duration
+	// Type classifies the response.
+	Type ResponseType
+	// From is the source address of the response packet.
+	From netip.Addr
+	// ReplyIPID is the IP identifier of the response (alias resolution
+	// uses it).
+	ReplyIPID uint16
+	// HasRR reports whether a Record Route option was recovered, either
+	// from the response header (echo replies) or from the quoted
+	// offending header inside an error (time-exceeded, port-unreachable).
+	HasRR bool
+	// RR holds the recorded addresses in stamp order.
+	RR []netip.Addr
+	// RRSlots is the total slot count of the recovered option.
+	RRTotalSlots int
+	// RRFull reports whether the recovered option had no free slots.
+	RRFull bool
+	// QuotedRR reports that RR came from a quoted header rather than
+	// the response's own header.
+	QuotedRR bool
+	// TS holds recovered Internet Timestamp entries (PingTS probes).
+	TS []packet.TSEntry
+	// TSOverflow is the option's overflow counter: hops that could not
+	// register a timestamp.
+	TSOverflow uint8
+}
+
+// Responded reports whether any response was matched.
+func (r Result) Responded() bool { return r.Type != NoResponse }
+
+// RTT returns the probe round-trip time, or 0 on timeout.
+func (r Result) RTT() time.Duration {
+	if !r.Responded() {
+		return 0
+	}
+	return r.RcvdAt - r.SentAt
+}
+
+// RRContains reports whether addr appears among the recorded hops.
+func (r Result) RRContains(addr netip.Addr) bool {
+	for _, h := range r.RR {
+		if h == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// RRSlotsRemaining returns how many free slots the recovered option had.
+func (r Result) RRSlotsRemaining() int {
+	if !r.HasRR {
+		return 0
+	}
+	return r.RRTotalSlots - len(r.RR)
+}

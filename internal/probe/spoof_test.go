@@ -1,0 +1,105 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"recordroute/internal/topology"
+)
+
+// TestExpectAndSendSpoofed exercises the reverse-traceroute primitive
+// directly: VP B registers an expectation, VP A transmits the probe
+// with B's source address, and B's prober matches the reply.
+func TestExpectAndSendSpoofed(t *testing.T) {
+	topo := topology.MustBuild(topology.DefaultConfig(topology.Epoch2016).Scale(0.15))
+	var clean []*topology.VP
+	for _, v := range topo.VPs {
+		if !v.SourceRateLimited && !topo.ASes[v.ASIdx].FilterOptions {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) < 2 {
+		t.Skip("need two clean VPs")
+	}
+	sender := New(NewSimTransport(clean[0].Host, topo.Net.Engine()), 0x0aaa)
+	receiver := New(NewSimTransport(clean[1].Host, topo.Net.Engine()), 0x0bbb)
+
+	d := pickDests(topo, 1)[0]
+	spec := Spec{Dst: d.Addr, Kind: PingRR}
+	var got *Result
+	id, seq := receiver.Expect(spec, time.Second, func(r Result) { got = &r })
+	if id != receiver.ID() {
+		t.Fatalf("Expect returned id %#x, want receiver's %#x", id, receiver.ID())
+	}
+	if err := sender.SendSpoofed(spec, receiver.LocalAddr(), id, seq); err != nil {
+		t.Fatal(err)
+	}
+	topo.Net.Engine().Run()
+
+	if got == nil {
+		t.Fatal("expectation never resolved")
+	}
+	if got.Type != EchoReply {
+		t.Fatalf("spoofed probe reply = %v", got.Type)
+	}
+	if !got.HasRR {
+		t.Fatal("no RR in spoofed reply")
+	}
+	// The recorded forward path is the SENDER's path to the dest; the
+	// reverse hops (after the dest stamp) lead to the RECEIVER.
+	if !got.RRContains(d.Addr) && !got.RRFull {
+		t.Errorf("destination missing from spoofed RR: %v", got.RR)
+	}
+	// The sender's prober must not have matched anything.
+	_, senderMatched, _, _ := sender.Stats()
+	if senderMatched != 0 {
+		t.Errorf("sender matched %d responses to a spoofed probe", senderMatched)
+	}
+}
+
+// TestExpectTimesOut verifies the expectation resolves on silence.
+func TestExpectTimesOut(t *testing.T) {
+	topo := topology.MustBuild(topology.DefaultConfig(topology.Epoch2016).Scale(0.15))
+	receiver := New(NewSimTransport(topo.VPs[0].Host, topo.Net.Engine()), 0x0ccc)
+	var got *Result
+	receiver.Expect(Spec{Dst: topo.Dests[0].Addr, Kind: PingRR}, 500*time.Millisecond, func(r Result) { got = &r })
+	// Nobody sends the probe.
+	topo.Net.Engine().Run()
+	if got == nil || got.Type != NoResponse {
+		t.Fatalf("expectation result = %+v, want timeout", got)
+	}
+}
+
+// TestLateResponseIgnored: a reply arriving after the probe's timeout
+// must not fire done twice; it lands in the ignored counter.
+func TestLateResponseIgnored(t *testing.T) {
+	topo := topology.MustBuild(topology.DefaultConfig(topology.Epoch2016).Scale(0.15))
+	var vp *topology.VP
+	for _, v := range topo.VPs {
+		if !v.SourceRateLimited && !topo.ASes[v.ASIdx].FilterOptions {
+			vp = v
+			break
+		}
+	}
+	p := New(NewSimTransport(vp.Host, topo.Net.Engine()), 0x0ddd)
+	d := pickDests(topo, 1)[0]
+	calls := 0
+	// A 1ns timeout expires long before the reply returns.
+	p.StartOne(Spec{Dst: d.Addr, Kind: Ping}, time.Nanosecond, func(r Result) {
+		calls++
+		if r.Type != NoResponse {
+			t.Errorf("resolved as %v, want timeout", r.Type)
+		}
+	})
+	topo.Net.Engine().Run()
+	if calls != 1 {
+		t.Fatalf("done called %d times", calls)
+	}
+	_, matched, timedOut, ignored := p.Stats()
+	if matched != 0 || timedOut != 1 {
+		t.Errorf("matched=%d timedOut=%d", matched, timedOut)
+	}
+	if ignored == 0 {
+		t.Error("late reply not counted as ignored")
+	}
+}

@@ -1,0 +1,97 @@
+package probe
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// TestPingTSRecordsHopTimestamps drives the Internet Timestamp probe
+// end-to-end: routers on the forward path register (address, millis)
+// pairs, the destination completes its own, and overflow counts the
+// hops beyond the four-slot capacity.
+func TestPingTSRecordsHopTimestamps(t *testing.T) {
+	topo, p, vp := testbed(t)
+	d := pickDests(topo, 1)[0]
+	var res *Result
+	p.StartOne(Spec{Dst: d.Addr, Kind: PingTS}, time.Second, func(r Result) { res = &r })
+	topo.Net.Engine().Run()
+	if res == nil || res.Type != EchoReply {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.TS) == 0 {
+		t.Fatal("no timestamp entries recovered")
+	}
+	// Timestamps are non-decreasing along the path.
+	for i := 1; i < len(res.TS); i++ {
+		if res.TS[i].Millis < res.TS[i-1].Millis {
+			t.Errorf("timestamps out of order: %+v", res.TS)
+		}
+	}
+	// Every recorded address belongs to the plan (routers or the dest).
+	for _, e := range res.TS {
+		if topo.ASOf(e.Addr) < 0 {
+			t.Errorf("timestamp hop %v outside plan", e.Addr)
+		}
+	}
+	// The forward path in this topology is longer than four hops, so
+	// the overflow counter should register the excess — or the dest is
+	// close and the option fits entirely.
+	fwd := topo.ForwardStampPath(vp.Addr, d.Addr)
+	if len(fwd) > len(res.TS) && res.TSOverflow == 0 && len(res.TS) == 4 {
+		t.Errorf("expected overflow for a %d-hop path with 4 slots", len(fwd))
+	}
+	t.Logf("ping-ts to %v: %d entries, overflow %d", d.Addr, len(res.TS), res.TSOverflow)
+}
+
+// TestPingTSVsPingRRSamePath checks the two option types see the same
+// hop addresses (over the shared four first slots).
+func TestPingTSVsPingRRSamePath(t *testing.T) {
+	topo, p, _ := testbed(t)
+	d := pickDests(topo, 1)[0]
+	var rrRes, tsRes *Result
+	p.StartOne(Spec{Dst: d.Addr, Kind: PingRR}, time.Second, func(r Result) { rrRes = &r })
+	topo.Net.Engine().Run()
+	p.StartOne(Spec{Dst: d.Addr, Kind: PingTS}, time.Second, func(r Result) { tsRes = &r })
+	topo.Net.Engine().Run()
+	if rrRes == nil || tsRes == nil || !rrRes.HasRR || len(tsRes.TS) == 0 {
+		t.Fatalf("rr=%+v ts=%+v", rrRes, tsRes)
+	}
+	n := min(len(tsRes.TS), len(rrRes.RR))
+	for i := 0; i < n; i++ {
+		if tsRes.TS[i].Addr != rrRes.RR[i] {
+			t.Errorf("slot %d: TS records %v, RR records %v", i, tsRes.TS[i].Addr, rrRes.RR[i])
+		}
+	}
+}
+
+// TestPingLSRRRefusedOnModernInternet sends a loose-source-routed ping
+// through an observed router hop: on the default (modern) topology no
+// router honors it, reproducing the 2005 "IP options are not an
+// option" result for source routing — in contrast to ping-RR.
+func TestPingLSRRRefusedOnModernInternet(t *testing.T) {
+	topo, p, _ := testbed(t)
+	d := pickDests(topo, 1)[0]
+	// Learn a router on the path via ping-RR first.
+	var rr *Result
+	p.StartOne(Spec{Dst: d.Addr, Kind: PingRR}, time.Second, func(r Result) { rr = &r })
+	topo.Net.Engine().Run()
+	if rr == nil || !rr.HasRR || len(rr.RR) == 0 {
+		t.Fatal("no RR hops to route through")
+	}
+	via := rr.RR[0]
+	var res *Result
+	p.StartOne(Spec{Dst: d.Addr, Kind: PingLSRR, Via: []netip.Addr{via}}, time.Second, func(r Result) { res = &r })
+	topo.Net.Engine().Run()
+	if res == nil {
+		t.Fatal("probe unresolved")
+	}
+	if res.Type == EchoReply {
+		// Only possible if the via router is one of the rare legacy
+		// honorers; the default config has none.
+		t.Errorf("source-routed ping succeeded via %v", via)
+	}
+	if got := topo.Net.Counter("router.drop.sourceroute"); got == 0 {
+		t.Error("no source-route refusal recorded")
+	}
+}

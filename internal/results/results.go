@@ -1,0 +1,179 @@
+// Package results serializes raw probe results to a line-oriented text
+// format and parses them back — the equivalent of the measurement
+// datasets the paper released alongside its tools. Analyses can then be
+// re-run from archived measurements without re-probing.
+//
+// Format: one record per line, pipe-separated:
+//
+//	vp|kind|dst|type|rtt_us|from|ipid|rr_slots|rr_full|quoted|hops…
+//
+// where hops is a comma-separated recorded-address list (empty when no
+// option was recovered). Lines starting with '#' are comments.
+package results
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"recordroute/internal/probe"
+)
+
+// Record pairs a vantage point name with one probe result.
+type Record struct {
+	VP     string
+	Result probe.Result
+}
+
+// Write emits records, sorted by VP then destination for reproducible
+// diffs.
+func Write(w io.Writer, perVP map[string][]probe.Result) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# format: vp|kind|dst|type|rtt_us|from|ipid|rr_slots|rr_full|quoted|hops")
+	vps := make([]string, 0, len(perVP))
+	for vp := range perVP {
+		vps = append(vps, vp)
+	}
+	sort.Strings(vps)
+	for _, vp := range vps {
+		for _, r := range perVP[vp] {
+			if err := writeRecord(bw, vp, r); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeRecord(w io.Writer, vp string, r probe.Result) error {
+	hops := make([]string, len(r.RR))
+	for i, h := range r.RR {
+		hops[i] = h.String()
+	}
+	from := ""
+	if r.From.IsValid() {
+		from = r.From.String()
+	}
+	_, err := fmt.Fprintf(w, "%s|%s|%s|%s|%d|%s|%d|%d|%t|%t|%s\n",
+		vp, r.Kind, r.Dst, r.Type, r.RTT().Microseconds(), from,
+		r.ReplyIPID, r.RRTotalSlots, r.RRFull, r.QuotedRR,
+		strings.Join(hops, ","))
+	return err
+}
+
+// Read parses records back, grouped per VP. Unknown kind or type labels
+// are rejected: archives must match the tool version that reads them.
+func Read(r io.Reader) (map[string][]probe.Result, error) {
+	out := make(map[string][]probe.Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		vp, res, err := parseRecord(line)
+		if err != nil {
+			return nil, fmt.Errorf("results: line %d: %w", lineNo, err)
+		}
+		out[vp] = append(out[vp], res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseRecord(line string) (string, probe.Result, error) {
+	f := strings.Split(line, "|")
+	if len(f) != 11 {
+		return "", probe.Result{}, fmt.Errorf("%d fields, want 11", len(f))
+	}
+	var res probe.Result
+	kind, err := parseKind(f[1])
+	if err != nil {
+		return "", res, err
+	}
+	res.Kind = kind
+	if res.Dst, err = netip.ParseAddr(f[2]); err != nil {
+		return "", res, err
+	}
+	if res.Type, err = parseType(f[3]); err != nil {
+		return "", res, err
+	}
+	rttUS, err := strconv.ParseInt(f[4], 10, 64)
+	if err != nil {
+		return "", res, fmt.Errorf("bad rtt %q", f[4])
+	}
+	// SentAt/RcvdAt are not archived; reconstruct the RTT only.
+	if res.Type != probe.NoResponse {
+		res.RcvdAt = time.Duration(rttUS) * time.Microsecond
+	}
+	if f[5] != "" {
+		if res.From, err = netip.ParseAddr(f[5]); err != nil {
+			return "", res, err
+		}
+	}
+	ipid, err := strconv.ParseUint(f[6], 10, 16)
+	if err != nil {
+		return "", res, fmt.Errorf("bad ipid %q", f[6])
+	}
+	res.ReplyIPID = uint16(ipid)
+	slots, err := strconv.Atoi(f[7])
+	if err != nil {
+		return "", res, fmt.Errorf("bad rr_slots %q", f[7])
+	}
+	res.RRTotalSlots = slots
+	if res.RRFull, err = strconv.ParseBool(f[8]); err != nil {
+		return "", res, fmt.Errorf("bad rr_full %q", f[8])
+	}
+	if res.QuotedRR, err = strconv.ParseBool(f[9]); err != nil {
+		return "", res, fmt.Errorf("bad quoted %q", f[9])
+	}
+	if f[10] != "" {
+		for _, hs := range strings.Split(f[10], ",") {
+			h, err := netip.ParseAddr(hs)
+			if err != nil {
+				return "", res, err
+			}
+			res.RR = append(res.RR, h)
+		}
+		res.HasRR = true
+	} else if res.RRTotalSlots > 0 {
+		res.HasRR = true
+	}
+	return f[0], res, nil
+}
+
+// parseKind inverts probe.Kind.String.
+func parseKind(s string) (probe.Kind, error) {
+	for _, k := range []probe.Kind{
+		probe.Ping, probe.PingRR, probe.PingRRUDP,
+		probe.TTLPing, probe.TTLPingRR, probe.PingTS, probe.PingLSRR,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown kind %q", s)
+}
+
+// parseType inverts probe.ResponseType.String.
+func parseType(s string) (probe.ResponseType, error) {
+	for _, t := range []probe.ResponseType{
+		probe.NoResponse, probe.EchoReply, probe.TimeExceeded,
+		probe.PortUnreachable, probe.OtherResponse,
+	} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown response type %q", s)
+}

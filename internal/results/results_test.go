@@ -1,0 +1,142 @@
+package results
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"recordroute/internal/analysis"
+	"recordroute/internal/probe"
+	"recordroute/internal/study"
+	"recordroute/internal/topology"
+)
+
+func sample() map[string][]probe.Result {
+	a := func(s string) netip.Addr { return netip.MustParseAddr(s) }
+	return map[string][]probe.Result{
+		"mlab-0": {
+			{
+				Spec:         probe.Spec{Dst: a("100.1.0.1"), Kind: probe.PingRR},
+				Type:         probe.EchoReply,
+				RcvdAt:       12345000, // 12.345ms
+				From:         a("100.1.0.1"),
+				ReplyIPID:    777,
+				HasRR:        true,
+				RR:           []netip.Addr{a("100.9.255.1"), a("100.1.0.1")},
+				RRTotalSlots: 9,
+			},
+			{
+				Spec: probe.Spec{Dst: a("100.2.0.1"), Kind: probe.PingRR},
+				Type: probe.NoResponse,
+			},
+		},
+		"pl-3": {
+			{
+				Spec:         probe.Spec{Dst: a("100.3.0.1"), Kind: probe.PingRRUDP},
+				Type:         probe.PortUnreachable,
+				RcvdAt:       999000,
+				From:         a("100.3.0.1"),
+				HasRR:        true,
+				QuotedRR:     true,
+				RR:           []netip.Addr{a("100.9.255.2")},
+				RRTotalSlots: 9,
+			},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(back) != len(want) {
+		t.Fatalf("VPs = %d, want %d", len(back), len(want))
+	}
+	for vp, rs := range want {
+		got := back[vp]
+		if len(got) != len(rs) {
+			t.Fatalf("%s: %d records, want %d", vp, len(got), len(rs))
+		}
+		for i := range rs {
+			w, g := rs[i], got[i]
+			if g.Dst != w.Dst || g.Kind != w.Kind || g.Type != w.Type ||
+				g.From != w.From || g.ReplyIPID != w.ReplyIPID ||
+				g.RRFull != w.RRFull || g.QuotedRR != w.QuotedRR ||
+				g.RRTotalSlots != w.RRTotalSlots || len(g.RR) != len(w.RR) {
+				t.Errorf("%s[%d]: got %+v want %+v", vp, i, g, w)
+			}
+			if g.RTT() != w.RTT() {
+				t.Errorf("%s[%d]: rtt %v vs %v", vp, i, g.RTT(), w.RTT())
+			}
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"only|three|fields",
+		"vp|bogus-kind|100.1.0.1|echo-reply|1|100.1.0.1|0|9|false|false|",
+		"vp|ping|not-an-addr|echo-reply|1|100.1.0.1|0|9|false|false|",
+		"vp|ping|100.1.0.1|bogus-type|1|100.1.0.1|0|9|false|false|",
+		"vp|ping|100.1.0.1|echo-reply|x|100.1.0.1|0|9|false|false|",
+	}
+	for i, line := range cases {
+		if _, err := Read(strings.NewReader(line)); err == nil {
+			t.Errorf("case %d accepted: %q", i, line)
+		}
+	}
+}
+
+func TestReadSkipsComments(t *testing.T) {
+	in := "# header\n\nmlab-0|ping|100.1.0.1|timeout|0||0|0|false|false|\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["mlab-0"]) != 1 {
+		t.Errorf("records = %d", len(got["mlab-0"]))
+	}
+}
+
+// TestArchivedResultsReanalyze demonstrates the archive's purpose: run
+// a study, archive its raw ping-RR results, read them back, and verify
+// the re-derived classification matches the live one.
+func TestArchivedResultsReanalyze(t *testing.T) {
+	cfg := topology.DefaultConfig(topology.Epoch2016).Scale(0.15)
+	s, err := study.New(cfg, study.Options{Rate: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.RunResponsiveness()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, r.PerVP); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveStats := analysis.AggregateRR(r.PerVP)
+	archStats := analysis.AggregateRR(back)
+	if len(liveStats) != len(archStats) {
+		t.Fatalf("stats sizes: %d vs %d", len(liveStats), len(archStats))
+	}
+	for dst, live := range liveStats {
+		arch := archStats[dst]
+		if arch == nil {
+			t.Fatalf("%v missing from archive-derived stats", dst)
+		}
+		if live.RRResponsive() != arch.RRResponsive() || live.MinDestSlot != arch.MinDestSlot {
+			t.Errorf("%v: live (%v,%d) vs archived (%v,%d)", dst,
+				live.RRResponsive(), live.MinDestSlot, arch.RRResponsive(), arch.MinDestSlot)
+		}
+	}
+}

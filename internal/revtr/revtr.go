@@ -1,0 +1,224 @@
+// Package revtr implements a simplified Reverse Traceroute (Katz-Bassett
+// et al., NSDI 2010) on top of the Record Route primitive — the system
+// whose continued viability the paper's reachability analysis (§3.3)
+// argues for.
+//
+// To measure the path *back* from a destination D to a target vantage
+// point T:
+//
+//  1. Some vantage point S within eight RR hops of D sends D a ping-RR
+//     whose source address is spoofed as T. The probe reaches D with
+//     free Record Route slots; D stamps itself and replies — to T,
+//     because of the spoof. Routers on D's path toward T fill the
+//     remaining slots: the first segment of the reverse path.
+//  2. If slots ran out before the reply reached T, the last recorded
+//     reverse hop H becomes the new measurement target: assuming
+//     destination-based routing, H's path to T is the tail of D's
+//     reverse path. Repeat from step 1 with D = H.
+//  3. The path is complete when a reply arrives with slots to spare
+//     (every remaining reverse hop fit) or a recorded hop lands in T's
+//     own network.
+//
+// Spoofed transmission and cross-vantage-point matching are coordinated
+// through probe.Prober.Expect/SendSpoofed.
+package revtr
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"recordroute/internal/measure"
+	"recordroute/internal/probe"
+)
+
+// Options tunes the measurement.
+type Options struct {
+	// MaxSegments bounds the stitching iterations; 0 means 10.
+	MaxSegments int
+	// MaxSpoofers bounds how many vantage points are tried per segment;
+	// 0 means 8.
+	MaxSpoofers int
+	// Timeout is the per-probe wait; 0 means the prober default.
+	Timeout time.Duration
+	// RRSlots overrides the Record Route size; 0 means nine.
+	RRSlots int
+	// Ranker, when set, orders the candidate spoofing vantage points
+	// per segment target (closest-first ordering cuts wasted probes,
+	// as the production Reverse Traceroute system does with its
+	// reachability atlas). Nil keeps the configured VP order.
+	Ranker func(target netip.Addr, vps []*measure.VantagePoint) []*measure.VantagePoint
+}
+
+func (o Options) maxSegments() int {
+	if o.MaxSegments == 0 {
+		return 10
+	}
+	return o.MaxSegments
+}
+
+func (o Options) maxSpoofers() int {
+	if o.MaxSpoofers == 0 {
+		return 8
+	}
+	return o.MaxSpoofers
+}
+
+// Path is a measured reverse path.
+type Path struct {
+	// Dst is the destination whose path back to Target was measured.
+	Dst netip.Addr
+	// Target is the vantage point the path leads to.
+	Target netip.Addr
+	// Hops are the recorded reverse-path router addresses, from Dst
+	// toward Target. Stitch points (re-measured intermediate routers)
+	// appear once.
+	Hops []netip.Addr
+	// Complete reports whether the final segment reached Target with
+	// slots to spare, i.e. no reverse hop is missing.
+	Complete bool
+	// Segments counts the stitched measurements.
+	Segments int
+}
+
+// System coordinates reverse-path measurements across vantage points.
+type System struct {
+	// VPs are the available vantage points; per segment they are tried
+	// in order as spoofing sources, so callers should place likely-close
+	// ones first.
+	VPs  []*measure.VantagePoint
+	Opts Options
+}
+
+// New returns a System over the given vantage points.
+func New(vps []*measure.VantagePoint, opts Options) *System {
+	return &System{VPs: vps, Opts: opts}
+}
+
+// MeasureReverse measures the reverse path from dst back to the target
+// vantage point and calls done exactly once. Partial paths are reported
+// with Complete == false and a nil error; an error means not even the
+// first segment could be measured.
+func (s *System) MeasureReverse(dst netip.Addr, target *measure.VantagePoint, done func(Path, error)) {
+	p := Path{Dst: dst, Target: target.Prober.LocalAddr()}
+	s.segment(dst, target, &p, done)
+}
+
+// BatchResult pairs a destination's measured path with its error.
+type BatchResult struct {
+	Path Path
+	Err  error
+}
+
+// MeasureReverseBatch measures the reverse path of every destination
+// back to target, staggering starts by interval (spoofed RR probes are
+// options traffic; pace them like any study probing). done receives
+// results in destination order.
+func (s *System) MeasureReverseBatch(dsts []netip.Addr, target *measure.VantagePoint, interval time.Duration, done func([]BatchResult)) {
+	if len(dsts) == 0 {
+		target.Prober.Schedule(0, func() { done(nil) })
+		return
+	}
+	results := make([]BatchResult, len(dsts))
+	remaining := len(dsts)
+	for i, d := range dsts {
+		i, d := i, d
+		target.Prober.Schedule(time.Duration(i)*interval, func() {
+			s.MeasureReverse(d, target, func(p Path, err error) {
+				results[i] = BatchResult{Path: p, Err: err}
+				remaining--
+				if remaining == 0 {
+					done(results)
+				}
+			})
+		})
+	}
+}
+
+// segment measures one stitching step: the reverse hops from cur toward
+// the target.
+func (s *System) segment(cur netip.Addr, target *measure.VantagePoint, p *Path, done func(Path, error)) {
+	if p.Segments >= s.Opts.maxSegments() {
+		done(*p, nil)
+		return
+	}
+	order := s.VPs
+	if s.Opts.Ranker != nil {
+		order = s.Opts.Ranker(cur, s.VPs)
+	}
+	s.trySpoofer(order, 0, cur, target, p, done)
+}
+
+// trySpoofer attempts the i'th vantage point of the given order as the
+// spoofing source for the current segment, advancing on failure.
+func (s *System) trySpoofer(order []*measure.VantagePoint, i int, cur netip.Addr, target *measure.VantagePoint, p *Path, done func(Path, error)) {
+	if i >= len(order) || i >= s.Opts.maxSpoofers() {
+		// No spoofer in range: report what we have.
+		if p.Segments == 0 {
+			done(*p, fmt.Errorf("revtr: no vantage point within RR range of %v", cur))
+		} else {
+			done(*p, nil)
+		}
+		return
+	}
+	spoofer := order[i]
+	spec := probe.Spec{Dst: cur, Kind: probe.PingRR, RRSlots: s.Opts.RRSlots}
+	id, seq := target.Prober.Expect(spec, s.Opts.Timeout, func(r probe.Result) {
+		rev, spare, ok := reverseHops(r, cur)
+		if !ok {
+			// Timeout, stripped option, or cur did not stamp (out of
+			// range from this spoofer): try the next vantage point.
+			s.trySpoofer(order, i+1, cur, target, p, done)
+			return
+		}
+		if !spare && len(rev) == 0 {
+			// cur stamped the final slot: in range of this spoofer but
+			// with no room for reverse hops. A closer one may do better.
+			s.trySpoofer(order, i+1, cur, target, p, done)
+			return
+		}
+		p.Segments++
+		for _, h := range rev {
+			// A hop reappearing across segments would loop forever;
+			// stop with the partial path instead.
+			for _, seen := range p.Hops {
+				if seen == h {
+					done(*p, nil)
+					return
+				}
+			}
+			p.Hops = append(p.Hops, h)
+		}
+		if spare {
+			p.Complete = true
+			done(*p, nil)
+			return
+		}
+		s.segment(rev[len(rev)-1], target, p, done)
+	})
+	if err := spoofer.Prober.SendSpoofed(spec, target.Prober.LocalAddr(), id, seq); err != nil {
+		// Malformed send: the Expect timeout will advance the search.
+		return
+	}
+}
+
+// reverseHops extracts the reverse-path hops from a spoofed ping-RR
+// response: the recorded slots after cur's own stamp. spare reports
+// whether free slots remained (the path is complete). ok is false when
+// the response is unusable.
+func reverseHops(r probe.Result, cur netip.Addr) (rev []netip.Addr, spare, ok bool) {
+	if r.Type != probe.EchoReply || !r.HasRR {
+		return nil, false, false
+	}
+	stamp := -1
+	for i, h := range r.RR {
+		if h == cur {
+			stamp = i
+			break
+		}
+	}
+	if stamp < 0 {
+		return nil, false, false
+	}
+	return r.RR[stamp+1:], r.RRSlotsRemaining() > 0, true
+}

@@ -1,0 +1,263 @@
+package revtr
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"recordroute/internal/measure"
+	"recordroute/internal/probe"
+	"recordroute/internal/topology"
+)
+
+// bed builds a topology plus measurement VPs for all platform vantage
+// points (unlimited ones first, so the system prefers clean spoofers).
+func bed(t *testing.T) (*topology.Topology, []*measure.VantagePoint) {
+	t.Helper()
+	topo := topology.MustBuild(topology.DefaultConfig(topology.Epoch2016).Scale(0.15))
+	var vps []*measure.VantagePoint
+	id := uint16(0x2000)
+	for _, v := range topo.VPs {
+		if !v.SourceRateLimited {
+			vps = append(vps, measure.NewVantagePoint(v.Name, v.Host, topo.Net.Engine(), id))
+			id++
+		}
+	}
+	return topo, vps
+}
+
+func TestReverseHopsExtraction(t *testing.T) {
+	cur := netip.MustParseAddr("100.7.0.1")
+	r := probe.Result{
+		Type:  probe.EchoReply,
+		HasRR: true,
+		RR: []netip.Addr{
+			netip.MustParseAddr("100.1.255.1"), // forward
+			cur,                                // dest stamp
+			netip.MustParseAddr("100.9.255.1"), // reverse
+			netip.MustParseAddr("100.9.255.2"),
+		},
+		RRTotalSlots: 9,
+	}
+	rev, spare, ok := reverseHops(r, cur)
+	if !ok || !spare {
+		t.Fatalf("ok=%v spare=%v", ok, spare)
+	}
+	if len(rev) != 2 || rev[0] != netip.MustParseAddr("100.9.255.1") {
+		t.Errorf("rev = %v", rev)
+	}
+}
+
+func TestReverseHopsRejectsUnstamped(t *testing.T) {
+	cur := netip.MustParseAddr("100.7.0.1")
+	r := probe.Result{
+		Type:         probe.EchoReply,
+		HasRR:        true,
+		RR:           []netip.Addr{netip.MustParseAddr("100.1.255.1")},
+		RRTotalSlots: 9,
+	}
+	if _, _, ok := reverseHops(r, cur); ok {
+		t.Error("accepted a response without the target's stamp")
+	}
+}
+
+func TestMeasureReverseEndToEnd(t *testing.T) {
+	topo, vps := bed(t)
+	sys := New(vps, Options{})
+	target := vps[0]
+
+	// Pick a conformant destination close enough to *some* VP.
+	var dst netip.Addr
+	for _, d := range topo.Dests {
+		if !d.GTPingResponsive || d.GTRRDrop || d.GTNoHonorRR || d.GTAlias.IsValid() ||
+			topo.ASes[d.ASIdx].FilterOptions {
+			continue
+		}
+		for _, vp := range vps {
+			if n := len(topo.ForwardStampPath(vp.Prober.LocalAddr(), d.Addr)); n > 0 && n <= 7 {
+				dst = d.Addr
+				break
+			}
+		}
+		if dst.IsValid() {
+			break
+		}
+	}
+	if !dst.IsValid() {
+		t.Fatal("no destination within RR range of any VP")
+	}
+
+	var got *Path
+	var gotErr error
+	sys.MeasureReverse(dst, target, func(p Path, err error) { got, gotErr = &p, err })
+	topo.Net.Engine().Run()
+
+	if got == nil {
+		t.Fatal("measurement never completed")
+	}
+	if gotErr != nil {
+		t.Fatalf("MeasureReverse: %v", gotErr)
+	}
+	if len(got.Hops) == 0 {
+		t.Fatal("no reverse hops measured")
+	}
+	// Ground truth: the reverse path dst → target is the forward stamp
+	// path from dst's host to the target address — restricted to routers
+	// that actually stamp (the topology deliberately includes
+	// non-stamping routers).
+	full := topo.ForwardStampPath(dst, target.Prober.LocalAddr())
+	if full == nil {
+		t.Fatal("no ground-truth reverse path")
+	}
+	var want []netip.Addr
+	for _, hop := range full {
+		r := topo.RouterByAddr(hop)
+		if r != nil && !r.Behavior().NoStampRR {
+			want = append(want, hop)
+		}
+	}
+	// Every measured hop must lie on the true reverse path, in order.
+	pos := -1
+	for _, h := range got.Hops {
+		found := -1
+		for i, w := range want {
+			if w == h {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Errorf("measured hop %v not on true reverse path %v", h, want)
+			continue
+		}
+		if found <= pos {
+			t.Errorf("measured hops out of order: %v vs truth %v", got.Hops, want)
+		}
+		pos = found
+	}
+	if got.Complete {
+		// A complete measurement must cover the entire true path.
+		if len(got.Hops) != len(want) {
+			t.Errorf("complete path has %d hops, truth has %d\n got: %v\nwant: %v",
+				len(got.Hops), len(want), got.Hops, want)
+		}
+	}
+	t.Logf("reverse path %v → %v: %d hops, complete=%v, segments=%d",
+		dst, target.Prober.LocalAddr(), len(got.Hops), got.Complete, got.Segments)
+}
+
+func TestMeasureReverseUnreachableTarget(t *testing.T) {
+	topo, vps := bed(t)
+	sys := New(vps[:1], Options{MaxSpoofers: 1})
+	// An address that answers nothing: a ground-truth unresponsive dest.
+	var dead netip.Addr
+	for _, d := range topo.Dests {
+		if !d.GTPingResponsive {
+			dead = d.Addr
+			break
+		}
+	}
+	var gotErr error
+	called := false
+	sys.MeasureReverse(dead, vps[0], func(p Path, err error) { called, gotErr = true, err })
+	topo.Net.Engine().Run()
+	if !called {
+		t.Fatal("done never called")
+	}
+	if gotErr == nil {
+		t.Error("expected an error for an unmeasurable destination")
+	}
+}
+
+func TestMeasureReverseBatch(t *testing.T) {
+	topo, vps := bed(t)
+	sys := New(vps, Options{})
+	target := vps[0]
+	// Collect several close destinations.
+	var dsts []netip.Addr
+	for _, d := range topo.Dests {
+		if !d.GTPingResponsive || d.GTRRDrop || topo.ASes[d.ASIdx].FilterOptions {
+			continue
+		}
+		for _, vp := range vps {
+			if n := len(topo.ForwardStampPath(vp.Prober.LocalAddr(), d.Addr)); n > 0 && n <= 6 {
+				dsts = append(dsts, d.Addr)
+				break
+			}
+		}
+		if len(dsts) == 4 {
+			break
+		}
+	}
+	if len(dsts) < 2 {
+		t.Skip("not enough close destinations")
+	}
+	var results []BatchResult
+	sys.MeasureReverseBatch(dsts, target, 50*time.Millisecond, func(rs []BatchResult) { results = rs })
+	topo.Net.Engine().Run()
+	if len(results) != len(dsts) {
+		t.Fatalf("results = %d, want %d", len(results), len(dsts))
+	}
+	measured := 0
+	for i, r := range results {
+		if r.Path.Dst != dsts[i] {
+			t.Errorf("result %d for %v, want %v", i, r.Path.Dst, dsts[i])
+		}
+		if r.Err == nil && len(r.Path.Hops) > 0 {
+			measured++
+		}
+	}
+	if measured == 0 {
+		t.Error("no destination yielded a reverse path")
+	}
+}
+
+// TestRankerOrdersSpooferAttempts verifies the configured ranker
+// controls which VPs are tried and in what order.
+func TestRankerOrdersSpooferAttempts(t *testing.T) {
+	topo, vps := bed(t)
+	if len(vps) < 3 {
+		t.Skip("need several VPs")
+	}
+	var rankedFor []netip.Addr
+	reversed := func(target netip.Addr, in []*measure.VantagePoint) []*measure.VantagePoint {
+		rankedFor = append(rankedFor, target)
+		out := make([]*measure.VantagePoint, len(in))
+		for i, vp := range in {
+			out[len(in)-1-i] = vp
+		}
+		return out
+	}
+	sys := New(vps, Options{Ranker: reversed})
+
+	var dst netip.Addr
+	for _, d := range topo.Dests {
+		if !d.GTPingResponsive || d.GTRRDrop || topo.ASes[d.ASIdx].FilterOptions {
+			continue
+		}
+		for _, vp := range vps {
+			if n := len(topo.ForwardStampPath(vp.Prober.LocalAddr(), d.Addr)); n > 0 && n <= 6 {
+				dst = d.Addr
+				break
+			}
+		}
+		if dst.IsValid() {
+			break
+		}
+	}
+	if !dst.IsValid() {
+		t.Skip("no close destination")
+	}
+	doneCalled := false
+	sys.MeasureReverse(dst, vps[0], func(Path, error) { doneCalled = true })
+	topo.Net.Engine().Run()
+	if !doneCalled {
+		t.Fatal("measurement never completed")
+	}
+	if len(rankedFor) == 0 {
+		t.Fatal("ranker never consulted")
+	}
+	if rankedFor[0] != dst {
+		t.Errorf("first segment ranked for %v, want %v", rankedFor[0], dst)
+	}
+}

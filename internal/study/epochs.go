@@ -1,0 +1,110 @@
+package study
+
+import (
+	"fmt"
+	"io"
+
+	"recordroute/internal/analysis"
+	"recordroute/internal/topology"
+)
+
+// EpochComparison is the §3.4 / Figure 2 experiment: reachability from
+// the 2011-era Internet and vantage points versus 2016, including the
+// common-VP subset that isolates topology change from VP growth.
+type EpochComparison struct {
+	Figure2 *analysis.Figure
+	// ReachableFrac2016/2011 are the all-VP headline fractions
+	// (0.66 vs 0.12 published).
+	ReachableFrac2016, ReachableFrac2011 float64
+	// CommonFrac are the same restricted to VPs present in both years.
+	CommonFrac2016, CommonFrac2011 float64
+}
+
+// RunEpochComparison builds and measures both epochs. cfg2016 seeds the
+// roster; the 2011 topology shares it but re-derives the peering and VP
+// populations of that era.
+func RunEpochComparison(cfg2016 topology.Config, opts Options) (*EpochComparison, error) {
+	cfg2011 := topology.DefaultConfig(topology.Epoch2011)
+	cfg2011.Seed = cfg2016.Seed
+	// Carry any scaling of the roster over to the 2011 config.
+	cfg2011.NumTier1 = cfg2016.NumTier1
+	cfg2011.NumTransit = cfg2016.NumTransit
+	cfg2011.NumAccess = cfg2016.NumAccess
+	cfg2011.NumEnterprise = cfg2016.NumEnterprise
+	cfg2011.NumContent = cfg2016.NumContent
+	cfg2011.NumUnknown = cfg2016.NumUnknown
+	scale := float64(cfg2016.NumMLab) / float64(topology.DefaultConfig(topology.Epoch2016).NumMLab)
+	cfg2011.NumMLab = max(1, int(float64(cfg2011.NumMLab)*scale+0.5))
+	cfg2011.NumPlanetLab = max(1, int(float64(cfg2011.NumPlanetLab)*scale+0.5))
+
+	s16, err := New(cfg2016, opts)
+	if err != nil {
+		return nil, err
+	}
+	s11, err := New(cfg2011, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// The two epochs are independent simulations with independent
+	// engines; measure them in parallel.
+	var r16, r11 *Responsiveness
+	done := make(chan struct{})
+	go func() {
+		r11 = s11.RunResponsiveness()
+		close(done)
+	}()
+	r16 = s16.RunResponsiveness()
+	<-done
+
+	// Common VPs: names present in both years (the generator names VPs
+	// stably per platform).
+	names16 := make(map[string]bool)
+	for _, vp := range s16.Topo.VPs {
+		names16[vp.Name] = true
+	}
+	var common []string
+	for _, vp := range s11.Topo.VPs {
+		if names16[vp.Name] {
+			common = append(common, vp.Name)
+		}
+	}
+
+	ec := &EpochComparison{
+		Figure2: &analysis.Figure{
+			Title:  "Figure 2: RR hops from closest VP, 2011 vs 2016 (CDF over RR-responsive destinations)",
+			XLabel: "rr-hops",
+			X:      analysis.IntRange(1, 9),
+		},
+	}
+	allNames := func(s *Study) []string {
+		var out []string
+		for _, vp := range s.Topo.VPs {
+			out = append(out, vp.Name)
+		}
+		return out
+	}
+	pop16 := len(r16.RRResponsive())
+	pop11 := len(r11.RRResponsive())
+	ec.Figure2.AddLine("2016-all-vps", s16.closestVPCDF(r16, allNames(s16), pop16))
+	ec.Figure2.AddLine("2016-common-vps", s16.closestVPCDF(r16, common, pop16))
+	ec.Figure2.AddLine("2011-all-vps", s11.closestVPCDF(r11, allNames(s11), pop11))
+	ec.Figure2.AddLine("2011-common-vps", s11.closestVPCDF(r11, common, pop11))
+
+	last := len(ec.Figure2.X) - 1
+	ec.ReachableFrac2016 = ec.Figure2.Lines[0].Y[last]
+	ec.CommonFrac2016 = ec.Figure2.Lines[1].Y[last]
+	ec.ReachableFrac2011 = ec.Figure2.Lines[2].Y[last]
+	ec.CommonFrac2011 = ec.Figure2.Lines[3].Y[last]
+	return ec, nil
+}
+
+// Render prints the figure and headline fractions.
+func (ec *EpochComparison) Render(w io.Writer) {
+	fmt.Fprintln(w, "== §3.4 / Figure 2: has reachability changed over time? ==")
+	ec.Figure2.Render(w)
+	fmt.Fprintf(w, "\nRR-reachable fraction, all VPs: 2016 %.2f vs 2011 %.2f (paper: 0.66 vs 0.12)\n",
+		ec.ReachableFrac2016, ec.ReachableFrac2011)
+	fmt.Fprintf(w, "RR-reachable fraction, common VPs: 2016 %.2f vs 2011 %.2f (same direction expected)\n",
+		ec.CommonFrac2016, ec.CommonFrac2011)
+}

@@ -1,0 +1,151 @@
+// Package study reproduces every table and figure of "The Record Route
+// Option is an Option!" (IMC 2017) against the simulated Internet:
+//
+//	Table 1   — ping vs ping-RR response rates, by IP and by AS type
+//	Figure 1  — RR hops to the closest vantage point, by VP subset
+//	§3.2      — per-destination VP response distribution
+//	§3.3      — reachability, greedy site selection, alias and
+//	            ping-RRudp reclassification
+//	Figure 2  — 2011 vs 2016 reachability
+//	§3.5      — traceroute/RR AS stamping audit
+//	Figure 3  — cloud-provider hop distance
+//	Figure 4  — per-VP response counts at 10 vs 100 pps
+//	Figure 5  — response rate vs initial TTL
+//
+// Each experiment returns a result struct with a Render method that
+// prints the same rows/series the paper reports.
+package study
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"time"
+
+	"recordroute/internal/dataset"
+	"recordroute/internal/measure"
+	"recordroute/internal/probe"
+	"recordroute/internal/topology"
+)
+
+// Options tunes a study run.
+type Options struct {
+	// Rate is the default probing rate per VP (pps); 0 means 20, the
+	// paper's rate.
+	Rate float64
+	// Timeout is the per-probe timeout; 0 means 2s.
+	Timeout time.Duration
+	// ShuffleSeed drives per-VP destination-order randomization.
+	ShuffleSeed uint64
+}
+
+func (o Options) rate() float64 {
+	if o.Rate <= 0 {
+		return 20
+	}
+	return o.Rate
+}
+
+func (o Options) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return 2 * time.Second
+	}
+	return o.Timeout
+}
+
+func (o Options) probeOpts() probe.Options {
+	return probe.Options{Rate: o.rate(), Timeout: o.timeout()}
+}
+
+// Study binds a built topology to its datasets and vantage points.
+type Study struct {
+	Topo *topology.Topology
+	Data *dataset.Dataset
+	Opts Options
+
+	// Camp probes from the platform VPs (M-Lab + PlanetLab); CloudCamp
+	// from the cloud measurement hosts.
+	Camp      *measure.Campaign
+	CloudCamp *measure.Campaign
+
+	// Origin issues the plain-ping responsiveness probes, standing in
+	// for the paper's single USC machine. It is the first M-Lab VP not
+	// behind a source-proximate policer.
+	Origin *measure.VantagePoint
+}
+
+// New builds the simulated Internet for cfg and wires up the campaign.
+func New(cfg topology.Config, opts Options) (*Study, error) {
+	topo, err := topology.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{
+		Topo: topo,
+		Data: dataset.FromTopology(topo),
+		Opts: opts,
+	}
+	s.Camp = measure.NewCampaign(topo, topo.VPs)
+	s.CloudCamp = measure.NewCampaign(topo, topo.CloudVPs)
+	for _, vp := range topo.VPs {
+		if vp.Kind == topology.MLab && !vp.SourceRateLimited {
+			s.Origin = s.Camp.VP(vp.Name)
+			break
+		}
+	}
+	if s.Origin == nil {
+		s.Origin = s.Camp.VPs[0]
+	}
+	return s, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg topology.Config, opts Options) *Study {
+	s, err := New(cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Shuffler returns a deterministic per-VP destination permutation,
+// mirroring the paper's randomized probing order (§4.1).
+func (s *Study) Shuffler() func(vp string, dests []netip.Addr) []netip.Addr {
+	return func(vp string, dests []netip.Addr) []netip.Addr {
+		var h uint64 = 14695981039346656037
+		for i := 0; i < len(vp); i++ {
+			h ^= uint64(vp[i])
+			h *= 1099511628211
+		}
+		rng := rand.New(rand.NewPCG(s.Opts.ShuffleSeed^h, h))
+		out := append([]netip.Addr(nil), dests...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+}
+
+// vpNamesOfKind lists platform VP names of one kind.
+func (s *Study) vpNamesOfKind(kind topology.VPKind) []string {
+	var out []string
+	for _, vp := range s.Topo.VPs {
+		if vp.Kind == kind {
+			out = append(out, vp.Name)
+		}
+	}
+	return out
+}
+
+// pct returns 100*num/den, or 0.
+func pct(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// frac returns num/den, or 0.
+func frac(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,124 @@
+package study
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"recordroute/internal/topology"
+)
+
+// testStudy builds a moderately sized study; shared across tests via
+// sync.Once-style caching would hide determinism bugs, so each test
+// builds its own.
+func testStudy(t *testing.T, scale float64) *Study {
+	t.Helper()
+	cfg := topology.DefaultConfig(topology.Epoch2016).Scale(scale)
+	s, err := New(cfg, Options{Rate: 200, ShuffleSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestResponsivenessShape(t *testing.T) {
+	s := testStudy(t, 0.3)
+	r := s.RunResponsiveness()
+	r.Render(os.Stderr)
+
+	if got := r.RRRatioByIP(); got < 0.60 || got > 0.90 {
+		t.Errorf("RR/ping ratio by IP = %.2f, want ~0.75", got)
+	}
+	if got := r.RRRatioByAS(); got < 0.70 || got > 0.95 {
+		t.Errorf("RR/ping ratio by AS = %.2f, want ~0.82", got)
+	}
+	if byAS, byIP := r.RRRatioByAS(), r.RRRatioByIP(); byAS <= byIP {
+		t.Errorf("by-AS ratio %.2f not above by-IP %.2f", byAS, byIP)
+	}
+	dist := r.VPResponseDist()
+	if dist.AboveTwoThirds < 0.5 {
+		t.Errorf("only %.2f of RR-responsive dests answer >2/3 of VPs, want most", dist.AboveTwoThirds)
+	}
+}
+
+func TestReachabilityShape(t *testing.T) {
+	s := testStudy(t, 0.3)
+	r := s.RunResponsiveness()
+	re := s.RunReachability(r)
+	re.Render(os.Stderr)
+
+	if re.ReachableFrac < 0.4 || re.ReachableFrac > 0.9 {
+		t.Errorf("reachable fraction = %.2f, want ~0.66", re.ReachableFrac)
+	}
+	if re.Within8Frac > re.ReachableFrac {
+		t.Errorf("within-8 %.2f exceeds within-9 %.2f", re.Within8Frac, re.ReachableFrac)
+	}
+}
+
+// TestStudyDeterministic: two identically-seeded studies produce
+// byte-identical Table 1 renders — the reproducibility guarantee the
+// simulator exists to provide.
+func TestStudyDeterministic(t *testing.T) {
+	render := func() string {
+		s := testStudy(t, 0.15)
+		r := s.RunResponsiveness()
+		var sb strings.Builder
+		r.Render(&sb)
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Error("identically-seeded studies diverge")
+	}
+}
+
+// TestStudyOriginIsCleanMLab: the plain-ping origin must be an M-Lab VP
+// without a source-proximate policer.
+func TestStudyOriginIsCleanMLab(t *testing.T) {
+	s := testStudy(t, 0.3)
+	if s.Origin == nil {
+		t.Fatal("no origin")
+	}
+	for _, vp := range s.Topo.VPs {
+		if vp.Name == s.Origin.Name {
+			if vp.Kind != topology.MLab || vp.SourceRateLimited {
+				t.Errorf("origin %s kind=%v limited=%v", vp.Name, vp.Kind, vp.SourceRateLimited)
+			}
+			return
+		}
+	}
+	t.Error("origin not found among VPs")
+}
+
+// TestSeedStability: headline ratios stay within a band across seeds —
+// the calibration is a property of the model, not of one lucky draw.
+func TestSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep in -short mode")
+	}
+	for _, seed := range []uint64{1, 20170924, 777} {
+		cfg := topology.DefaultConfig(topology.Epoch2016).Scale(0.3)
+		cfg.Seed = seed
+		s, err := New(cfg, Options{Rate: 200, ShuffleSeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := s.RunResponsiveness()
+		if ratio := r.RRRatioByIP(); ratio < 0.55 || ratio > 0.95 {
+			t.Errorf("seed %d: by-IP ratio %.2f out of band", seed, ratio)
+		}
+		if byAS := r.RRRatioByAS(); byAS < r.RRRatioByIP() {
+			t.Errorf("seed %d: by-AS ratio %.2f below by-IP %.2f", seed, byAS, r.RRRatioByIP())
+		}
+	}
+}
+
+func TestVPResponseDistFigure(t *testing.T) {
+	s := testStudy(t, 0.15)
+	r := s.RunResponsiveness()
+	fig := r.VPResponseDist().Figure()
+	var sb strings.Builder
+	fig.Render(&sb)
+	if !strings.Contains(sb.String(), "destinations") {
+		t.Error("figure render incomplete")
+	}
+}

@@ -1,0 +1,226 @@
+package topology
+
+import "fmt"
+
+// Epoch selects the interconnection era the generator models. The 2016
+// epoch is the paper's measurement; 2011 reproduces the sparser peering
+// of the Reverse Traceroute era for the §3.4 comparison.
+type Epoch int
+
+const (
+	// Epoch2016 is the flattened Internet: dense IXP/colo peering,
+	// content and cloud networks peered broadly with access networks.
+	Epoch2016 Epoch = iota
+	// Epoch2011 has sparse peering; most paths climb to tier-1s.
+	Epoch2011
+)
+
+// String names the epoch.
+func (e Epoch) String() string {
+	if e == Epoch2011 {
+		return "2011"
+	}
+	return "2016"
+}
+
+// Config parameterizes topology generation. DefaultConfig returns values
+// calibrated (at ~1/100 of the paper's scale) so the study reproduces
+// the paper's aggregate shapes; tests may shrink the counts further.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical topologies.
+	Seed uint64
+	// Epoch selects the peering era.
+	Epoch Epoch
+
+	// AS roster sizes by role.
+	NumTier1, NumTransit, NumAccess       int
+	NumEnterprise, NumContent, NumUnknown int
+	// CloudNames creates one cloud AS per entry (e.g. gce, ec2).
+	CloudNames []string
+
+	// Peering probabilities (the "flattening" knobs).
+	TransitPeerProb        float64 // transit—transit at IXPs
+	AccessPeerProb         float64 // access—access
+	ContentAccessPeerProb  float64 // content—access (flattening)
+	ContentTransitPeerProb float64
+	CloudPeerProb          float64 // cloud—{access,transit,content}
+	EnterpriseViaTransitP  float64 // enterprise homed to transit vs access
+
+	// Prefix counts per AS by role (expected values; small jitter).
+	PrefixesPerTransit, PrefixesPerAccess, PrefixesPerEnterprise int
+	PrefixesPerContent, PrefixesPerUnknown                       int
+
+	// Routers per AS by role.
+	RoutersPerTier1, RoutersPerTransit, RoutersPerAccess int
+	RoutersPerStub, RoutersPerCloud                      int
+	// ChainBoost deepens every AS's router tree (added to the per-role
+	// chain bias); the 2011 epoch uses it to model the longer
+	// router-level paths of the pre-flattening Internet.
+	ChainBoost float64
+
+	// Behaviour rates: AS-wide options filtering by type.
+	FilterRateAccess, FilterRateEnterprise float64
+	FilterRateContent, FilterRateUnknown   float64
+	// FilterRateTransit makes a few transit ASes filter options,
+	// producing path-dependent response loss: destinations whose routes
+	// from some VPs cross the filter answer only the other VPs (the
+	// §3.2 partial-response population).
+	FilterRateTransit float64
+	// NoStampASCount transit ASes never stamp (§3.5's needles);
+	// PartialNoStampRate of ASes have some non-stamping routers.
+	NoStampASCount     int
+	PartialNoStampRate float64
+
+	// Router behaviour rates.
+	RouterAnonymousRate float64 // no TTL decrement
+	EdgeRateLimitRate   float64 // stub-AS routers with options policers
+	EdgeRateLimitPPS    float64
+
+	// Host behaviour rates.
+	PingResponsiveRate    map[ASType]float64
+	HostRRDropRate        map[ASType]float64 // host-level options filtering
+	HostNoHonorRRRate     float64            // replies but never stamps itself
+	HostAliasStampRate    float64            // stamps an alias address
+	HostUDPResponsiveRate float64
+
+	// Vantage points.
+	NumMLab, NumPlanetLab int
+	// MLabRateLimited VPs (and as many PlanetLab VPs, halved) sit behind
+	// a source-proximate options policer at their first-hop router.
+	MLabRateLimited    int
+	SourceRateLimitPPS float64
+}
+
+// DefaultConfig returns the calibrated configuration for an epoch at
+// roughly 1/100 the paper's scale.
+func DefaultConfig(epoch Epoch) Config {
+	c := Config{
+		Seed:  20170924, // the RouteViews RIB date used by the paper
+		Epoch: epoch,
+
+		NumTier1:      5,
+		NumTransit:    35,
+		NumAccess:     150,
+		NumEnterprise: 240,
+		NumContent:    20,
+		NumUnknown:    48,
+		CloudNames:    []string{"gce", "ec2", "softlayer"},
+
+		TransitPeerProb:        0.30,
+		AccessPeerProb:         0.05,
+		ContentAccessPeerProb:  0.30,
+		ContentTransitPeerProb: 0.40,
+		CloudPeerProb:          0.70,
+		EnterpriseViaTransitP:  0.30,
+
+		PrefixesPerTransit:    5,
+		PrefixesPerAccess:     20,
+		PrefixesPerEnterprise: 2,
+		PrefixesPerContent:    18,
+		PrefixesPerUnknown:    3,
+
+		RoutersPerTier1:   5,
+		RoutersPerTransit: 6,
+		RoutersPerAccess:  14,
+		RoutersPerStub:    4,
+		RoutersPerCloud:   3,
+
+		FilterRateAccess:     0.08,
+		FilterRateEnterprise: 0.16,
+		FilterRateContent:    0.12,
+		FilterRateUnknown:    0.10,
+		FilterRateTransit:    0.05,
+		NoStampASCount:       1,
+		PartialNoStampRate:   0.06,
+
+		RouterAnonymousRate: 0.02,
+		EdgeRateLimitRate:   0.03,
+		EdgeRateLimitPPS:    100,
+
+		PingResponsiveRate: map[ASType]float64{
+			TypeTransitAccess: 0.76,
+			TypeEnterprise:    0.84,
+			TypeContent:       0.84,
+			TypeUnknown:       0.62,
+		},
+		HostRRDropRate: map[ASType]float64{
+			TypeTransitAccess: 0.15,
+			TypeEnterprise:    0.12,
+			TypeContent:       0.12,
+			TypeUnknown:       0.09,
+		},
+		HostNoHonorRRRate:     0.020,
+		HostAliasStampRate:    0.025,
+		HostUDPResponsiveRate: 0.60,
+
+		NumMLab:            30,
+		NumPlanetLab:       20,
+		MLabRateLimited:    2,
+		SourceRateLimitPPS: 30,
+	}
+	if epoch == Epoch2011 {
+		// Sparse peering: traffic climbs to the tier-1 core. Fewer
+		// M-Lab sites existed; PlanetLab dominated.
+		c.TransitPeerProb = 0.05
+		c.AccessPeerProb = 0
+		c.ContentAccessPeerProb = 0.02
+		c.ContentTransitPeerProb = 0.10
+		c.CloudPeerProb = 0.05
+		c.NumMLab = 5
+		c.NumPlanetLab = 35
+		// Pre-flattening router-level paths: deeper aggregation
+		// everywhere and longer transit crossings.
+		c.RoutersPerTransit = 10
+		c.RoutersPerAccess = 20
+		c.RoutersPerStub = 6
+		c.ChainBoost = 0.25
+	}
+	return c
+}
+
+// Scale multiplies the roster and VP sizes by f (minimum 1 per nonzero
+// field), for quick tests (f < 1) or heavier runs (f > 1).
+func (c Config) Scale(f float64) Config {
+	scale := func(n int) int {
+		if n == 0 {
+			return 0
+		}
+		s := int(float64(n)*f + 0.5)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	c.NumTier1 = max(2, scale(c.NumTier1))
+	c.NumTransit = max(3, scale(c.NumTransit))
+	c.NumAccess = scale(c.NumAccess)
+	c.NumEnterprise = scale(c.NumEnterprise)
+	c.NumContent = scale(c.NumContent)
+	c.NumUnknown = scale(c.NumUnknown)
+	c.NumMLab = scale(c.NumMLab)
+	c.NumPlanetLab = scale(c.NumPlanetLab)
+	c.MLabRateLimited = min(c.MLabRateLimited, c.NumMLab)
+	return c
+}
+
+// Validate reports configuration errors that would break generation.
+func (c Config) Validate() error {
+	if c.NumTier1 < 2 {
+		return fmt.Errorf("topology: need >= 2 tier-1 ASes, have %d", c.NumTier1)
+	}
+	if c.NumTransit < 1 {
+		return fmt.Errorf("topology: need >= 1 transit AS")
+	}
+	if c.NumMLab > c.NumTransit+c.NumTier1 {
+		return fmt.Errorf("topology: %d M-Lab VPs exceed %d transit hosts", c.NumMLab, c.NumTransit+c.NumTier1)
+	}
+	if c.NumPlanetLab > c.NumEnterprise {
+		return fmt.Errorf("topology: %d PlanetLab VPs exceed %d enterprise hosts", c.NumPlanetLab, c.NumEnterprise)
+	}
+	total := c.NumTier1 + c.NumTransit + c.NumAccess + c.NumEnterprise +
+		c.NumContent + c.NumUnknown + len(c.CloudNames)
+	if total > maxASes {
+		return fmt.Errorf("topology: %d ASes exceed address-plan limit %d", total, maxASes)
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+package topology
+
+// Gao-Rexford policy routing over an AS-relationship graph.
+//
+// Each AS selects one best route per destination following the standard
+// preference order — routes learned from customers over routes learned
+// from peers over routes learned from providers, then shortest AS-path,
+// then lowest next-hop index — under valley-free export rules: a route
+// learned from a customer is exported to everyone; a route learned from
+// a peer or provider is exported only to customers.
+
+// Rel is an AS relationship, viewed from the AS holding the adjacency
+// toward the neighbour it describes.
+type Rel int8
+
+const (
+	// RelCustomer: the neighbour is my customer (I transit for it).
+	RelCustomer Rel = iota
+	// RelPeer: settlement-free peering.
+	RelPeer
+	// RelProvider: the neighbour is my provider.
+	RelProvider
+)
+
+// String names the relationship.
+func (r Rel) String() string {
+	switch r {
+	case RelCustomer:
+		return "customer"
+	case RelPeer:
+		return "peer"
+	case RelProvider:
+		return "provider"
+	default:
+		return "rel(?)"
+	}
+}
+
+// Neighbor is one adjacency in the AS graph.
+type Neighbor struct {
+	To  int
+	Rel Rel // relationship of To, from the owning AS's perspective
+}
+
+// Graph is an AS-relationship graph over ASes indexed 0..N-1.
+type Graph struct {
+	n   int
+	adj [][]Neighbor
+}
+
+// NewGraph returns an empty graph over n ASes.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]Neighbor, n)}
+}
+
+// N returns the number of ASes.
+func (g *Graph) N() int { return g.n }
+
+// Neighbors returns a's adjacency list.
+func (g *Graph) Neighbors(a int) []Neighbor { return g.adj[a] }
+
+// AddLink records a relationship between a and b: rel is b's role from
+// a's perspective (RelCustomer means b is a's customer). The reverse
+// adjacency is added automatically.
+func (g *Graph) AddLink(a, b int, rel Rel) {
+	g.adj[a] = append(g.adj[a], Neighbor{To: b, Rel: rel})
+	var back Rel
+	switch rel {
+	case RelCustomer:
+		back = RelProvider
+	case RelProvider:
+		back = RelCustomer
+	default:
+		back = RelPeer
+	}
+	g.adj[b] = append(g.adj[b], Neighbor{To: a, Rel: back})
+}
+
+// HasLink reports whether a and b are adjacent.
+func (g *Graph) HasLink(a, b int) bool {
+	for _, nb := range g.adj[a] {
+		if nb.To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// route classes in preference order. classNone sorts last.
+const (
+	classCustomer int8 = 1
+	classPeer     int8 = 2
+	classProvider int8 = 3
+	classNone     int8 = 4
+)
+
+// NextHops computes, for every AS, the next-hop AS on its best
+// policy-compliant route toward dst. nh[dst] = dst; unreachable ASes get
+// -1. The companion class and dist slices describe the selected route.
+func (g *Graph) NextHops(dst int) (nh []int32, class []int8, dist []int32) {
+	n := g.n
+	nh = make([]int32, n)
+	class = make([]int8, n)
+	dist = make([]int32, n)
+	for i := range nh {
+		nh[i] = -1
+		class[i] = classNone
+		dist[i] = 1 << 30
+	}
+	nh[dst] = int32(dst)
+	class[dst] = 0
+	dist[dst] = 0
+
+	// Stage 1: customer routes climb provider edges from dst. An AS
+	// whose customer has a customer route (or is dst) learns a customer
+	// route. Level-order BFS gives shortest paths; the lowest next-hop
+	// index wins ties within a level.
+	level := []int{dst}
+	d := int32(0)
+	for len(level) > 0 {
+		d++
+		var next []int
+		for _, a := range level {
+			for _, nb := range g.adj[a] {
+				if nb.Rel != RelProvider {
+					continue // only a's providers learn this as a customer route
+				}
+				p := nb.To
+				if class[p] == classCustomer {
+					// Already reached at an earlier or equal level; a
+					// same-level lower-index hop wins the tie.
+					if dist[p] == d && int32(a) < nh[p] {
+						nh[p] = int32(a)
+					}
+					continue
+				}
+				if class[p] == classNone {
+					class[p] = classCustomer
+					dist[p] = d
+					nh[p] = int32(a)
+					next = append(next, p)
+				}
+				// class[p] == 0 is dst itself: nothing to do.
+			}
+		}
+		level = dedupInts(next)
+	}
+
+	// Stage 2: peer routes: one peer edge from an AS holding a customer
+	// route (or dst itself).
+	for a := 0; a < n; a++ {
+		if class[a] <= classCustomer {
+			continue
+		}
+		best := int32(1 << 30)
+		bestHop := int32(-1)
+		for _, nb := range g.adj[a] {
+			if nb.Rel != RelPeer {
+				continue
+			}
+			b := nb.To
+			if class[b] > classCustomer && b != dst {
+				continue
+			}
+			if cand := dist[b] + 1; cand < best || (cand == best && int32(b) < bestHop) {
+				best = cand
+				bestHop = int32(b)
+			}
+		}
+		if bestHop >= 0 {
+			class[a] = classPeer
+			dist[a] = best
+			nh[a] = bestHop
+		}
+	}
+
+	// Stage 3: provider routes descend customer edges from any routed
+	// AS, chaining downward. Level-order BFS over candidate distances.
+	// Seeds: every AS with a route so far, offering dist+1 to customers.
+	// Because seed distances vary, bucket by distance.
+	maxD := int32(0)
+	for a := 0; a < n; a++ {
+		if class[a] != classNone && dist[a] > maxD && dist[a] < 1<<29 {
+			maxD = dist[a]
+		}
+	}
+	buckets := make([][]int, maxD+2)
+	for a := 0; a < n; a++ {
+		if class[a] != classNone {
+			buckets[dist[a]] = append(buckets[dist[a]], a)
+		}
+	}
+	for d := int32(0); int(d) < len(buckets); d++ {
+		for _, a := range buckets[d] {
+			if dist[a] != d {
+				continue // superseded before processing
+			}
+			for _, nb := range g.adj[a] {
+				if nb.Rel != RelCustomer {
+					continue // only a's customers learn this downward
+				}
+				c := nb.To
+				cand := d + 1
+				switch {
+				case class[c] < classProvider:
+					// customer/peer routes always beat provider routes.
+				case class[c] == classProvider && dist[c] < cand:
+				case class[c] == classProvider && dist[c] == cand:
+					if int32(a) < nh[c] {
+						nh[c] = int32(a)
+					}
+				default:
+					class[c] = classProvider
+					dist[c] = cand
+					nh[c] = int32(a)
+					for int(cand) >= len(buckets) {
+						buckets = append(buckets, nil)
+					}
+					buckets[cand] = append(buckets[cand], c)
+				}
+			}
+		}
+	}
+
+	for a := 0; a < n; a++ {
+		if class[a] == classNone {
+			dist[a] = -1
+		}
+	}
+	return nh, class, dist
+}
+
+// dedupInts removes duplicates preserving first occurrence order.
+func dedupInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Routes is the all-pairs next-hop matrix: Next[d][a] is a's next hop
+// toward destination d.
+type Routes struct {
+	g    *Graph
+	Next [][]int32
+}
+
+// ComputeRoutes builds the full next-hop matrix.
+func ComputeRoutes(g *Graph) *Routes {
+	r := &Routes{g: g, Next: make([][]int32, g.n)}
+	for d := 0; d < g.n; d++ {
+		nh, _, _ := g.NextHops(d)
+		r.Next[d] = nh
+	}
+	return r
+}
+
+// Path returns the AS-level path from src to dst (inclusive of both), or
+// nil if unreachable.
+func (r *Routes) Path(src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		next := r.Next[dst][cur]
+		if next < 0 {
+			return nil
+		}
+		cur = int(next)
+		path = append(path, cur)
+		if len(path) > r.g.n {
+			return nil // routing loop; must not happen
+		}
+	}
+	return path
+}
+
+// NextHop returns a's next-hop AS toward dst, or -1.
+func (r *Routes) NextHop(a, dst int) int {
+	if a == dst {
+		return dst
+	}
+	return int(r.Next[dst][a])
+}

@@ -1,0 +1,253 @@
+// Package topology generates synthetic Internet topologies — an AS-level
+// relationship graph with Gao-Rexford policy routing, expanded into a
+// router-level packet network on internal/netsim — and places vantage
+// points, destinations, and the behaviour mix (options filtering,
+// non-stamping routers, rate limiters, aliases) that the Record Route
+// study measures.
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+
+	"recordroute/internal/netsim"
+)
+
+// VPKind distinguishes vantage-point platforms.
+type VPKind int
+
+const (
+	// MLab vantage points sit in transit/colo networks.
+	MLab VPKind = iota
+	// PlanetLab vantage points sit in enterprise (university) networks.
+	PlanetLab
+	// Cloud vantage points sit at a cloud provider's border (§3.6).
+	Cloud
+)
+
+// String names the platform.
+func (k VPKind) String() string {
+	switch k {
+	case MLab:
+		return "mlab"
+	case PlanetLab:
+		return "planetlab"
+	case Cloud:
+		return "cloud"
+	default:
+		return fmt.Sprintf("VPKind(%d)", int(k))
+	}
+}
+
+// VP is a measurement vantage point.
+type VP struct {
+	Name  string
+	Kind  VPKind
+	Addr  netip.Addr
+	ASIdx int
+	Host  *netsim.Host
+	// SourceRateLimited marks VPs behind a source-proximate options
+	// policer (ground truth for validating the §4.1 experiment).
+	SourceRateLimited bool
+}
+
+// Dest is one probed destination: the representative address of one
+// advertised /24, mirroring the paper's one-per-prefix hitlist.
+type Dest struct {
+	Addr   netip.Addr
+	Prefix netip.Prefix
+	ASIdx  int
+	Host   *netsim.Host
+
+	// Ground-truth behaviour flags, for white-box validation only;
+	// analyses must work from probe responses.
+	GTPingResponsive bool
+	GTRRDrop         bool // host-level options filtering
+	GTNoHonorRR      bool
+	GTAlias          netip.Addr // valid when the host stamps an alias
+	GTUDPResponsive  bool
+}
+
+// Topology is a fully built simulated Internet.
+type Topology struct {
+	Cfg    Config
+	Net    *netsim.Network
+	Graph  *Graph
+	Routes *Routes
+	ASes   []*AS
+
+	// Routers[a] lists AS a's routers; index 0 is the intra-AS hub.
+	Routers [][]*netsim.Router
+	// Dests are the probe targets in roster order.
+	Dests []*Dest
+	// VPs lists M-Lab then PlanetLab vantage points. CloudVPs lists the
+	// per-cloud measurement hosts separately.
+	VPs      []*VP
+	CloudVPs []*VP
+
+	// routing oracle state
+	hostIface  map[netip.Addr]*netsim.Iface // router-side iface toward a host
+	hostAttach map[netip.Addr]int           // attach router idx for a host addr
+	routerAddr map[netip.Addr]int           // router idx owning an infra addr
+	// Intra-AS routers form a tree rooted at router 0. parent[a][j] is
+	// router j's parent (-1 for the root); upIface[a][j] the interface
+	// from j toward its parent; downIface[a][j] the interface from
+	// parent[a][j] toward j.
+	parent    [][]int
+	upIface   [][]*netsim.Iface
+	downIface [][]*netsim.Iface
+	// borderIface[a][nbrAS] / borderIdx[a][nbrAS]: the inter-AS link.
+	borderIface []map[int]*netsim.Iface
+	borderIdx   []map[int]int
+
+	destByAddr  map[netip.Addr]*Dest
+	routerIndex map[*netsim.Router][2]int // router → (AS index, router index)
+}
+
+// RouterByAddr returns the router owning an infrastructure address, or
+// nil. Tests use it to consult ground-truth router behaviour.
+func (t *Topology) RouterByAddr(a netip.Addr) *netsim.Router {
+	asIdx := t.ASOf(a)
+	if asIdx < 0 {
+		return nil
+	}
+	idx, ok := t.routerAddr[a]
+	if !ok {
+		return nil
+	}
+	return t.Routers[asIdx][idx]
+}
+
+// ForwardStampPath returns the egress interface addresses a packet from
+// the host at src would traverse to reach dst — the Record Route stamps
+// a fully conformant path would record, excluding the destination's own
+// stamp. It is ground truth for validating measurements; nil when either
+// address is unknown or unrouted.
+func (t *Topology) ForwardStampPath(src, dst netip.Addr) []netip.Addr {
+	gw, ok := t.hostIface[src]
+	if !ok {
+		return nil
+	}
+	cur, okr := gw.Owner.(*netsim.Router)
+	if !okr {
+		return nil
+	}
+	var stamps []netip.Addr
+	for hop := 0; hop < 64; hop++ {
+		pos, ok := t.routerIndex[cur]
+		if !ok {
+			return nil
+		}
+		egress := t.route(pos[0], pos[1], dst)
+		if egress == nil {
+			// Local delivery to this router itself.
+			if idx, isRouter := t.routerAddr[dst]; isRouter && idx == pos[1] && t.ASOf(dst) == pos[0] {
+				return stamps
+			}
+			return nil
+		}
+		stamps = append(stamps, egress.Addr)
+		next := egress.Peer().Owner
+		if _, isHost := next.(*netsim.Host); isHost {
+			return stamps
+		}
+		cur = next.(*netsim.Router)
+	}
+	return nil
+}
+
+// ASOf maps any address from the plan to its owning AS index, or -1.
+func (t *Topology) ASOf(a netip.Addr) int { return asOfAddr(a, len(t.ASes)) }
+
+// ASNOf maps an address to its owning AS number, or -1.
+func (t *Topology) ASNOf(a netip.Addr) int {
+	idx := t.ASOf(a)
+	if idx < 0 {
+		return -1
+	}
+	return t.ASes[idx].ASN
+}
+
+// DestByAddr returns the destination record probed at a, or nil.
+func (t *Topology) DestByAddr(a netip.Addr) *Dest { return t.destByAddr[a] }
+
+// VPByName returns the named vantage point (including clouds), or nil.
+func (t *Topology) VPByName(name string) *VP {
+	for _, v := range t.VPs {
+		if v.Name == name {
+			return v
+		}
+	}
+	for _, v := range t.CloudVPs {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// route is the shared routing oracle: the egress interface for a packet
+// at router (asIdx, rIdx) toward dst, or nil to fall back to the FIB.
+func (t *Topology) route(asIdx, rIdx int, dst netip.Addr) *netsim.Iface {
+	dstAS := t.ASOf(dst)
+	if dstAS < 0 {
+		return nil
+	}
+	if dstAS == asIdx {
+		// Intra-AS delivery: find the target router, then hop the star.
+		if tgt, ok := t.hostAttach[dst]; ok {
+			if tgt == rIdx {
+				return t.hostIface[dst]
+			}
+			return t.intraToward(asIdx, rIdx, tgt)
+		}
+		if tgt, ok := t.routerAddr[dst]; ok {
+			if tgt == rIdx {
+				return nil // local to this router; netsim handles it
+			}
+			return t.intraToward(asIdx, rIdx, tgt)
+		}
+		return nil
+	}
+	nh := t.Routes.NextHop(asIdx, dstAS)
+	if nh < 0 {
+		return nil
+	}
+	// Route toward the border with the next-hop AS. When there is no
+	// direct adjacency (shouldn't happen with consistent routes), drop.
+	b, ok := t.borderIdx[asIdx][nh]
+	if !ok {
+		return nil
+	}
+	if b == rIdx {
+		return t.borderIface[asIdx][nh]
+	}
+	return t.intraToward(asIdx, rIdx, b)
+}
+
+// intraToward returns the next interface from router rIdx toward router
+// tgt inside AS a. The intra-AS topology is a tree rooted at router 0:
+// if tgt is in rIdx's subtree the packet goes down one child; otherwise
+// it climbs to rIdx's parent.
+func (t *Topology) intraToward(a, rIdx, tgt int) *netsim.Iface {
+	if rIdx == tgt {
+		return nil
+	}
+	// Climb from tgt toward the root; if we pass through rIdx, tgt is
+	// below us and the crossing child is the next hop downward.
+	for c := tgt; c >= 0; c = t.parent[a][c] {
+		if t.parent[a][c] == rIdx {
+			return t.downIface[a][c]
+		}
+	}
+	return t.upIface[a][rIdx]
+}
+
+// depthOf returns a router's depth in its AS tree (root = 0).
+func (t *Topology) depthOf(a, rIdx int) int {
+	d := 0
+	for p := t.parent[a][rIdx]; p >= 0; p = t.parent[a][p] {
+		d++
+	}
+	return d
+}

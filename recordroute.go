@@ -1,0 +1,98 @@
+// Package recordroute reproduces "The Record Route Option is an
+// Option!" (Goodchild et al., IMC 2017): a measurement toolkit built
+// around the IPv4 Record Route option, together with a deterministic
+// packet-level Internet simulator to run it against.
+//
+// The package is the public facade. An Internet value wraps a generated
+// topology (autonomous systems, policy routing, routers that stamp RR
+// options, rate-limit the options slow path, filter, or hide from
+// traceroute) plus vantage points mirroring the paper's M-Lab and
+// PlanetLab deployments and per-cloud measurement hosts.
+//
+// Quick start:
+//
+//	inet, err := recordroute.New(recordroute.WithScale(0.2))
+//	if err != nil { ... }
+//	vp := inet.VPNames()[0]
+//	reply, err := inet.PingRR(vp, inet.Destinations()[0])
+//	fmt.Println(reply.RecordedRoute)
+//
+// The paper's tables and figures are reproduced by the experiment
+// methods (Table1, Figure1Reachability, Figure2Epochs, StampAudit,
+// Figure3Clouds, Figure4RateLimit, Figure5TTL), each of which renders
+// the corresponding rows/series and returns a machine-readable summary.
+package recordroute
+
+import (
+	"fmt"
+	"time"
+
+	"recordroute/internal/topology"
+)
+
+// Epoch selects the modeled interconnection era.
+type Epoch int
+
+const (
+	// Epoch2016 is the paper's measurement era (the flattened Internet).
+	Epoch2016 Epoch = iota
+	// Epoch2011 models the sparse-peering era of the §3.4 comparison.
+	Epoch2011
+)
+
+// options collects construction parameters.
+type options struct {
+	epoch   Epoch
+	scale   float64
+	seed    uint64
+	rate    float64
+	timeout time.Duration
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithEpoch selects the interconnection era (default Epoch2016).
+func WithEpoch(e Epoch) Option { return func(o *options) { o.epoch = e } }
+
+// WithScale multiplies the default topology size (1.0 ≈ 1/100 of the
+// paper's scale; tests typically use 0.15–0.3).
+func WithScale(f float64) Option { return func(o *options) { o.scale = f } }
+
+// WithSeed fixes all randomness; equal seeds give identical Internets.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithProbeRate sets the default per-VP probing rate in packets per
+// second (default 20, the paper's rate).
+func WithProbeRate(pps float64) Option { return func(o *options) { o.rate = pps } }
+
+// WithTimeout sets the per-probe timeout (default 2s of virtual time).
+func WithTimeout(d time.Duration) Option { return func(o *options) { o.timeout = d } }
+
+// buildConfig resolves options into a topology configuration.
+func buildConfig(opts []Option) (topology.Config, options) {
+	o := options{scale: 1, seed: 0, epoch: Epoch2016}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	epoch := topology.Epoch2016
+	if o.epoch == Epoch2011 {
+		epoch = topology.Epoch2011
+	}
+	cfg := topology.DefaultConfig(epoch)
+	if o.scale > 0 && o.scale != 1 {
+		cfg = cfg.Scale(o.scale)
+	}
+	if o.seed != 0 {
+		cfg.Seed = o.seed
+	}
+	return cfg, o
+}
+
+// validateScale rejects nonsense scales early with a clear error.
+func validateScale(f float64) error {
+	if f < 0 || f > 100 {
+		return fmt.Errorf("recordroute: scale %v out of range (0, 100]", f)
+	}
+	return nil
+}
