@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench study fuzz examples clean
+.PHONY: all build test vet bench bench-all race study fuzz examples clean
 
 all: build test
 
@@ -15,9 +15,23 @@ vet:
 test: vet
 	$(GO) test ./...
 
-# One benchmark per paper table/figure plus ablations.
+# Headline campaign benchmarks (Table 1, Figure 1 sequential and
+# sharded, Figure 2), archived as machine-readable JSON. The record
+# includes gomaxprocs/numcpu so shard speedups can be judged against the
+# hardware parallelism the run actually had.
 bench:
+	$(GO) test -bench 'BenchmarkTable1ResponseRates|BenchmarkFigure1ClosestVPCDF|BenchmarkFigure1StudyShards|BenchmarkFigure2Epochs' \
+		-benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_parallel.json
+	cat BENCH_parallel.json
+
+# Every benchmark in the tree (per-figure plus ablations and hot paths).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Race-check the concurrent layers: the sharded campaign executor and
+# the simulator substrate it runs replicas of.
+race:
+	$(GO) test -race ./internal/measure/... ./internal/netsim/... ./internal/study/...
 
 # Reproduce every table and figure at full default scale (~30 s).
 study:

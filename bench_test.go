@@ -7,8 +7,10 @@ package recordroute
 // `go test -bench` output doubles as a results table.
 
 import (
+	"fmt"
 	"io"
 	"net/netip"
+	"runtime"
 	"testing"
 
 	"recordroute/internal/analysis"
@@ -50,6 +52,27 @@ func BenchmarkFigure1ClosestVPCDF(b *testing.B) {
 		sum := in.Figure1Reachability(io.Discard)
 		b.ReportMetric(sum.ReachableFrac, "reachable-frac")
 		b.ReportMetric(sum.Within8Frac, "within8-frac")
+	}
+}
+
+// BenchmarkFigure1StudyShards regenerates Figure 1 through the sharded
+// campaign executor at K = 1, 2, 4. Results are identical at every K
+// (the equivalence tests assert it); what varies is wall-clock, which
+// tracks min(K, GOMAXPROCS) — the gomaxprocs metric records how much
+// hardware parallelism the run actually had.
+func BenchmarkFigure1StudyShards(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				in, err := New(WithScale(benchScale), WithProbeRate(200), WithShards(k))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum := in.Figure1Reachability(io.Discard)
+				b.ReportMetric(sum.ReachableFrac, "reachable-frac")
+			}
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
 	}
 }
 

@@ -104,7 +104,7 @@ func (in *Internet) Figure2Epochs(w io.Writer) (EpochSummary, error) {
 		WithScale(in.opts.scale), WithSeed(in.opts.seed),
 		WithProbeRate(in.opts.rate), WithTimeout(in.opts.timeout),
 	})
-	ec, err := study.RunEpochComparison(cfg, study.Options{Rate: in.opts.rate, Timeout: in.opts.timeout})
+	ec, err := study.RunEpochComparison(cfg, study.Options{Rate: in.opts.rate, Timeout: in.opts.timeout, Shards: in.opts.shards})
 	if err != nil {
 		return EpochSummary{}, err
 	}

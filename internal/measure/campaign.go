@@ -8,6 +8,25 @@ import (
 	"recordroute/internal/topology"
 )
 
+// Fleet is the campaign surface the study layer measures through: a set
+// of vantage points that can fan batches out and run the virtual clock
+// to quiescence. It is implemented by Campaign (one shared engine) and
+// ParallelCampaign (sharded engine replicas with a deterministic merge),
+// so experiments choose an execution strategy without changing shape.
+type Fleet interface {
+	// VP returns the named vantage point, or nil.
+	VP(name string) *VantagePoint
+	// Run drains pending events on every engine the fleet spans and
+	// leaves all fleet clocks at the same virtual time.
+	Run()
+	// PingRRAll sends one ping-RR from every VP to every destination.
+	PingRRAll(dests []netip.Addr, opts probe.Options, orderFor func(vp string, dests []netip.Addr) []netip.Addr) map[string][]probe.Result
+	// PingAll sends count plain pings per destination from every VP.
+	PingAll(dests []netip.Addr, count int, opts probe.Options) map[string][][]probe.Result
+	// PingRRUDPAll sends one ping-RRudp from every VP to its targets.
+	PingRRUDPAll(perVP map[string][]netip.Addr, opts probe.Options) map[string][]probe.Result
+}
+
 // Campaign fans measurements across many vantage points concurrently
 // inside one simulation engine, offering synchronous collect-all APIs:
 // every VP's batch is started, the engine runs to quiescence, and the
@@ -15,28 +34,33 @@ import (
 type Campaign struct {
 	Eng *netsim.Engine
 	VPs []*VantagePoint
+
+	byName map[string]*VantagePoint
 }
 
 // NewCampaign builds a campaign over the given topology VPs (any mix of
 // platform and cloud VPs). Prober identifiers are assigned sequentially
 // so no two VPs cross-match.
 func NewCampaign(topo *topology.Topology, vps []*topology.VP) *Campaign {
-	c := &Campaign{Eng: topo.Net.Engine()}
+	c := &Campaign{
+		Eng:    topo.Net.Engine(),
+		byName: make(map[string]*VantagePoint, len(vps)),
+	}
 	for i, v := range vps {
-		c.VPs = append(c.VPs, NewVantagePoint(v.Name, v.Host, topo.Net.Engine(), uint16(0x4000+i)))
+		vp := NewVantagePoint(v.Name, v.Host, topo.Net.Engine(), uint16(0x4000+i))
+		c.VPs = append(c.VPs, vp)
+		c.byName[v.Name] = vp
 	}
 	return c
 }
 
 // VP returns the named vantage point, or nil.
 func (c *Campaign) VP(name string) *VantagePoint {
-	for _, vp := range c.VPs {
-		if vp.Name == name {
-			return vp
-		}
-	}
-	return nil
+	return c.byName[name]
 }
+
+// Run drains the engine's event queue.
+func (c *Campaign) Run() { c.Eng.Run() }
 
 // PingRRAll sends one ping-RR from every VP to every destination in
 // dests (per-VP order may be permuted via orderFor) and returns results

@@ -1,0 +1,283 @@
+package measure
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sync"
+	"time"
+
+	"recordroute/internal/netsim"
+	"recordroute/internal/probe"
+	"recordroute/internal/topology"
+)
+
+// ParallelCampaign executes campaign primitives across K shards, each an
+// independent deterministic simulator replica built from the same
+// topology.Config and seed. Vantage points are partitioned round-robin
+// by their campaign index, so each VP's complete probe stream — pacing,
+// source-proximate policer interactions, timeouts — plays out inside
+// exactly one replica, bit-for-bit as it would inside the single shared
+// engine. Shards run on a runtime.GOMAXPROCS-sized worker pool and the
+// per-shard result maps merge back into the exact per-VP ordering the
+// sequential Campaign produces.
+//
+// Determinism contract: for workloads whose only cross-VP coupling is
+// through destination-side state that stays inactive (edge policers
+// below their rate, IP-ID counters no analysis reads), every Result
+// field except ReplyIPID is byte-identical to the sequential path, and
+// experiment summaries built from them are byte-identical. ReplyIPID is
+// exempt because destination IP-ID counters observe only shard-local
+// traffic. Rate-limiting experiments that deliberately saturate shared
+// destination-side policers (Figure 4) must keep using Campaign: there
+// the aggregate cross-VP arrival process is the measured effect, and
+// sharding it away would change the drops.
+//
+// After each primitive, every shard clock is advanced to the maximum
+// shard time, which equals the time the sequential engine would show —
+// so later phases start at the same virtual instant in every replica.
+type ParallelCampaign struct {
+	cfg    topology.Config
+	shards int
+
+	buildOnce sync.Once
+	buildErr  error
+	replicas  []*replica
+	vpShard   map[string]int // VP name → replica index
+	vpNames   []string       // campaign order, as the sequential path sees it
+}
+
+// Both executors satisfy the Fleet surface.
+var (
+	_ Fleet = (*Campaign)(nil)
+	_ Fleet = (*ParallelCampaign)(nil)
+)
+
+// replica is one shard: a full topology replica plus the VantagePoints
+// (with their original campaign prober IDs) assigned to it.
+type replica struct {
+	topo *topology.Topology
+	eng  *netsim.Engine
+	vps  []*VantagePoint
+}
+
+// NewParallelCampaign returns a K-shard campaign over cfg's platform
+// VPs. Replicas are built lazily — on the first primitive — and
+// concurrently. shards below 1 is an error; shards above the VP count
+// is clamped (an empty replica would only waste a build).
+func NewParallelCampaign(cfg topology.Config, shards int) (*ParallelCampaign, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("measure: %d shards", shards)
+	}
+	return &ParallelCampaign{cfg: cfg, shards: shards}, nil
+}
+
+// NumShards returns the shard count the campaign will use (clamped to
+// the VP count once built).
+func (pc *ParallelCampaign) NumShards() int {
+	if pc.replicas != nil {
+		return len(pc.replicas)
+	}
+	return pc.shards
+}
+
+// init builds the shard replicas on first use, concurrently on the
+// worker pool. Each build is deterministic from cfg.Seed, so every
+// replica is the same simulated Internet.
+func (pc *ParallelCampaign) init() error {
+	pc.buildOnce.Do(func() {
+		// Probe the VP roster once to clamp the shard count; this build
+		// doubles as replica 0.
+		first, err := topology.Build(pc.cfg)
+		if err != nil {
+			pc.buildErr = err
+			return
+		}
+		k := pc.shards
+		if n := len(first.VPs); k > n && n > 0 {
+			k = n
+		}
+		pc.replicas = make([]*replica, k)
+		pc.replicas[0] = &replica{topo: first, eng: first.Net.Engine()}
+		errs := make([]error, k)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for s := 1; s < k; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				topo, err := topology.Build(pc.cfg)
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				pc.replicas[s] = &replica{topo: topo, eng: topo.Net.Engine()}
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				pc.buildErr = err
+				return
+			}
+		}
+		// Partition VPs round-robin by campaign index, keeping the
+		// sequential prober ID assignment (0x4000+i) so wire images and
+		// reply matching are identical to Campaign's.
+		pc.vpShard = make(map[string]int, len(first.VPs))
+		for i, v := range first.VPs {
+			shard := i % k
+			rep := pc.replicas[shard]
+			rv := rep.topo.VPByName(v.Name)
+			rep.vps = append(rep.vps, NewVantagePoint(rv.Name, rv.Host, rep.eng, uint16(0x4000+i)))
+			pc.vpShard[v.Name] = shard
+			pc.vpNames = append(pc.vpNames, v.Name)
+		}
+	})
+	return pc.buildErr
+}
+
+// mustInit panics on a replica build failure: the same configuration
+// already built once for the sequential study, so a failure here is a
+// programming error, not an input error.
+func (pc *ParallelCampaign) mustInit() {
+	if err := pc.init(); err != nil {
+		panic(fmt.Sprintf("measure: shard replica build failed: %v", err))
+	}
+}
+
+// VP returns the named vantage point's shard replica instance, or nil.
+// Probes started on it run inside that VP's shard engine; follow with
+// Run to drain and re-synchronize the fleet.
+func (pc *ParallelCampaign) VP(name string) *VantagePoint {
+	pc.mustInit()
+	s, ok := pc.vpShard[name]
+	if !ok {
+		return nil
+	}
+	for _, vp := range pc.replicas[s].vps {
+		if vp.Name == name {
+			return vp
+		}
+	}
+	return nil
+}
+
+// VPNames lists the vantage points in campaign (sequential) order.
+func (pc *ParallelCampaign) VPNames() []string {
+	pc.mustInit()
+	return pc.vpNames
+}
+
+// eachShard runs fn per replica on a GOMAXPROCS-sized worker pool and
+// waits for all of them; fn owns its replica's engine for the duration.
+func (pc *ParallelCampaign) eachShard(fn func(*replica)) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, rep := range pc.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+// syncClocks advances every shard clock to the fleet-wide maximum —
+// exactly the time a single shared engine would have reached, since the
+// sequential end time is the maximum over the same event set.
+func (pc *ParallelCampaign) syncClocks() {
+	var max time.Duration
+	for _, rep := range pc.replicas {
+		if now := rep.eng.Now(); now > max {
+			max = now
+		}
+	}
+	for _, rep := range pc.replicas {
+		rep.eng.RunUntil(max)
+	}
+}
+
+// Run drains every shard engine on the worker pool and re-synchronizes
+// the fleet clocks.
+func (pc *ParallelCampaign) Run() {
+	pc.mustInit()
+	pc.eachShard(func(rep *replica) { rep.eng.Run() })
+	pc.syncClocks()
+}
+
+// PingRRAll sends one ping-RR from every VP to every destination, each
+// VP inside its own shard, and merges the per-shard results into one
+// map keyed by VP name in that VP's send order — the same shape and
+// content Campaign.PingRRAll produces.
+func (pc *ParallelCampaign) PingRRAll(dests []netip.Addr, opts probe.Options, orderFor func(vp string, dests []netip.Addr) []netip.Addr) map[string][]probe.Result {
+	pc.mustInit()
+	out := make(map[string][]probe.Result, len(pc.vpNames))
+	var mu sync.Mutex
+	pc.eachShard(func(rep *replica) {
+		for _, vp := range rep.vps {
+			vp := vp
+			ds := dests
+			if orderFor != nil {
+				ds = orderFor(vp.Name, dests)
+			}
+			vp.PingRRBatch(ds, opts, func(rs []probe.Result) {
+				mu.Lock()
+				out[vp.Name] = rs
+				mu.Unlock()
+			})
+		}
+		rep.eng.Run()
+	})
+	pc.syncClocks()
+	return out
+}
+
+// PingAll sends count plain pings per destination from every VP.
+func (pc *ParallelCampaign) PingAll(dests []netip.Addr, count int, opts probe.Options) map[string][][]probe.Result {
+	pc.mustInit()
+	out := make(map[string][][]probe.Result, len(pc.vpNames))
+	var mu sync.Mutex
+	pc.eachShard(func(rep *replica) {
+		for _, vp := range rep.vps {
+			vp := vp
+			vp.PingBatch(dests, count, opts, func(rs [][]probe.Result) {
+				mu.Lock()
+				out[vp.Name] = rs
+				mu.Unlock()
+			})
+		}
+		rep.eng.Run()
+	})
+	pc.syncClocks()
+	return out
+}
+
+// PingRRUDPAll sends one ping-RRudp from every VP to its listed targets.
+func (pc *ParallelCampaign) PingRRUDPAll(perVP map[string][]netip.Addr, opts probe.Options) map[string][]probe.Result {
+	pc.mustInit()
+	out := make(map[string][]probe.Result, len(perVP))
+	var mu sync.Mutex
+	pc.eachShard(func(rep *replica) {
+		for _, vp := range rep.vps {
+			vp := vp
+			ds := perVP[vp.Name]
+			if len(ds) == 0 {
+				continue
+			}
+			vp.PingRRUDPBatch(ds, opts, func(rs []probe.Result) {
+				mu.Lock()
+				out[vp.Name] = rs
+				mu.Unlock()
+			})
+		}
+		rep.eng.Run()
+	})
+	pc.syncClocks()
+	return out
+}

@@ -1,0 +1,65 @@
+package netsim
+
+import "sync"
+
+// Counter names are interned into small integer IDs at first use, so the
+// per-packet hot path (forwarding, link transmission, slow-path
+// accounting) bumps a slice slot instead of hashing a string into a map
+// millions of times per campaign. The registry is process-global: IDs
+// are stable across Networks, which also lets shard replicas of the same
+// topology share call-site IDs.
+var counterReg = struct {
+	sync.Mutex
+	ids   map[string]int
+	names []string
+}{ids: make(map[string]int)}
+
+// CounterID interns a counter name, returning its stable ID. Call sites
+// on hot paths resolve their ID once (package init or construction) and
+// use Network.CountID.
+func CounterID(name string) int {
+	counterReg.Lock()
+	defer counterReg.Unlock()
+	if id, ok := counterReg.ids[name]; ok {
+		return id
+	}
+	id := len(counterReg.names)
+	counterReg.ids[name] = id
+	counterReg.names = append(counterReg.names, name)
+	return id
+}
+
+// counterName resolves an ID back to its name.
+func counterName(id int) string {
+	counterReg.Lock()
+	defer counterReg.Unlock()
+	return counterReg.names[id]
+}
+
+// lookupCounterID resolves a name without registering it.
+func lookupCounterID(name string) (int, bool) {
+	counterReg.Lock()
+	defer counterReg.Unlock()
+	id, ok := counterReg.ids[name]
+	return id, ok
+}
+
+// counterSnapshot returns the registered names, index = ID.
+func counterSnapshot() []string {
+	counterReg.Lock()
+	defer counterReg.Unlock()
+	return append([]string(nil), counterReg.names...)
+}
+
+// Pre-interned IDs for the per-packet hot paths.
+var (
+	cLinkTx         = CounterID("link.tx")
+	cLinkLoss       = CounterID("link.loss")
+	cRouterFwd      = CounterID("router.fwd")
+	cRouterSlowpath = CounterID("router.slowpath")
+	cRouterStamped  = CounterID("router.rr.stamped")
+	cRouterTS       = CounterID("router.ts.stamped")
+	cHostInject     = CounterID("host.inject")
+	cHostEchoReply  = CounterID("host.echo.reply")
+	cHostUDPUnreach = CounterID("host.udp.unreach")
+)

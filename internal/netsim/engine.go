@@ -12,34 +12,25 @@
 package netsim
 
 import (
-	"container/heap"
 	"time"
 )
 
-// Event is a scheduled callback in virtual time.
+// event is a scheduled occurrence in virtual time: either a callback
+// (fn != nil) or a packet delivery (pkt/dst set). Packet deliveries are
+// a dedicated event kind so the per-packet hot path schedules no closure
+// and the engine can recycle the buffer once the receiver returns.
 type event struct {
 	at  time.Duration
 	seq uint64 // FIFO tie-break for equal timestamps: determinism
 	fn  func()
+	pkt []byte
+	dst *Iface
 }
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Engine is the discrete-event scheduler. It is not safe for concurrent
 // use; the whole simulation is single-threaded and deterministic.
 type Engine struct {
-	pq   eventHeap
+	pq   []event // binary min-heap ordered by (at, seq)
 	now  time.Duration
 	seq  uint64
 	nRun uint64
@@ -62,7 +53,18 @@ func (e *Engine) Schedule(d time.Duration, fn func()) {
 		d = 0
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: e.now + d, seq: e.seq, fn: fn})
+	e.push(event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// scheduleDelivery enqueues a packet delivery to dst after delay d,
+// ordered exactly like Schedule. The engine owns pkt until delivery and
+// returns it to the owning network's buffer pool afterwards.
+func (e *Engine) scheduleDelivery(d time.Duration, pkt []byte, dst *Iface) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	e.push(event{at: e.now + d, seq: e.seq, pkt: pkt, dst: dst})
 }
 
 // At runs fn at absolute virtual time t (or now, if t is in the past).
@@ -95,10 +97,71 @@ func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
 func (e *Engine) Pending() int { return len(e.pq) }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pop()
 	if ev.at > e.now {
 		e.now = ev.at
 	}
 	e.nRun++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	dst := ev.dst
+	dst.Owner.Receive(ev.pkt, dst)
+	dst.net.putBuf(ev.pkt)
+}
+
+// The heap is hand-rolled rather than container/heap: the interface
+// indirection there boxes one event per Push/Pop, which dominates
+// allocation in packet-heavy runs. It is 4-ary rather than binary —
+// batch campaigns pre-schedule every paced send, so the queue holds tens
+// of thousands of events and the halved depth cuts the struct moves that
+// dominate sift costs.
+
+func (e *Engine) less(i, j int) bool {
+	if e.pq[i].at != e.pq[j].at {
+		return e.pq[i].at < e.pq[j].at
+	}
+	return e.pq[i].seq < e.pq[j].seq
+}
+
+func (e *Engine) push(ev event) {
+	e.pq = append(e.pq, ev)
+	i := len(e.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(i, parent) {
+			break
+		}
+		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	top := e.pq[0]
+	n := len(e.pq) - 1
+	e.pq[0] = e.pq[n]
+	e.pq[n] = event{} // release buffer/closure references
+	e.pq = e.pq[:n]
+	i := 0
+	for {
+		smallest := i
+		first := 4*i + 1
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if e.less(c, smallest) {
+				smallest = c
+			}
+		}
+		if smallest == i {
+			break
+		}
+		e.pq[i], e.pq[smallest] = e.pq[smallest], e.pq[i]
+		i = smallest
+	}
+	return top
 }

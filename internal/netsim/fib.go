@@ -2,34 +2,45 @@ package netsim
 
 import (
 	"net/netip"
-	"sort"
 )
 
 // FIB is a longest-prefix-match forwarding table mapping destination
-// prefixes to egress interfaces. Lookups probe per-prefix-length maps
-// from most to least specific; real tables here hold only a handful of
-// distinct lengths, so this stays fast without a trie.
+// prefixes to egress interfaces. Host routes (/32), which dominate real
+// tables here because every link installs two, live in a dedicated
+// address-keyed map probed first; shorter prefixes go through per-length
+// maps from most to least specific. Real tables here hold only a handful
+// of distinct lengths, so this stays fast without a trie.
 type FIB struct {
+	host    map[netip.Addr]*Iface // /32 routes, the common hit
 	byLen   map[int]map[netip.Prefix]*Iface
-	lengths []int // sorted descending, kept in sync with byLen
+	lengths []int // sorted descending, kept in sync with byLen; never 32
 	size    int
 }
 
 // NewFIB returns an empty forwarding table.
 func NewFIB() *FIB {
-	return &FIB{byLen: make(map[int]map[netip.Prefix]*Iface)}
+	return &FIB{
+		host:  make(map[netip.Addr]*Iface),
+		byLen: make(map[int]map[netip.Prefix]*Iface),
+	}
 }
 
 // Add installs a route. The prefix is masked to its canonical form; a
 // later Add for the same prefix overwrites the earlier one.
 func (f *FIB) Add(p netip.Prefix, via *Iface) {
 	p = p.Masked()
+	if p.Bits() == 32 {
+		if _, exists := f.host[p.Addr()]; !exists {
+			f.size++
+		}
+		f.host[p.Addr()] = via
+		return
+	}
 	m := f.byLen[p.Bits()]
 	if m == nil {
 		m = make(map[netip.Prefix]*Iface)
 		f.byLen[p.Bits()] = m
-		f.lengths = append(f.lengths, p.Bits())
-		sort.Sort(sort.Reverse(sort.IntSlice(f.lengths)))
+		f.insertLength(p.Bits())
 	}
 	if _, exists := m[p]; !exists {
 		f.size++
@@ -37,9 +48,26 @@ func (f *FIB) Add(p netip.Prefix, via *Iface) {
 	m[p] = via
 }
 
+// insertLength places bits into the descending-sorted lengths slice
+// without re-sorting the whole slice on every new length.
+func (f *FIB) insertLength(bits int) {
+	i := len(f.lengths)
+	for i > 0 && f.lengths[i-1] < bits {
+		i--
+	}
+	f.lengths = append(f.lengths, 0)
+	copy(f.lengths[i+1:], f.lengths[i:])
+	f.lengths[i] = bits
+}
+
 // Lookup returns the egress interface for dst under longest-prefix
-// match, or nil if no route covers it.
+// match, or nil if no route covers it. The /32 host-route map — the
+// common case on forwarding paths, where connected peers are host
+// routes — is probed before any prefix arithmetic.
 func (f *FIB) Lookup(dst netip.Addr) *Iface {
+	if via, ok := f.host[dst]; ok {
+		return via
+	}
 	for _, bits := range f.lengths {
 		p, err := dst.Prefix(bits)
 		if err != nil {

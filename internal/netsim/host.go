@@ -134,7 +134,7 @@ func (h *Host) Inject(pkt []byte) {
 		h.net.Count("host.drop.unconnected", 1)
 		return
 	}
-	h.net.Count("host.inject", 1)
+	h.net.CountID(cHostInject, 1)
 	h.uplink.Send(pkt)
 }
 
@@ -223,7 +223,7 @@ func (h *Host) receiveICMP(payload []byte) {
 			return
 		}
 	}
-	h.net.Count("host.echo.reply", 1)
+	h.net.CountID(cHostEchoReply, 1)
 	h.send(&hdr, reply.Marshal())
 }
 
@@ -250,7 +250,7 @@ func (h *Host) receiveUDP(raw, payload []byte) {
 		Src:      h.ip.Dst,
 		Dst:      h.ip.Src,
 	}
-	h.net.Count("host.udp.unreach", 1)
+	h.net.CountID(cHostUDPUnreach, 1)
 	h.send(&hdr, e.Marshal())
 }
 
@@ -260,7 +260,7 @@ func (h *Host) send(hdr *packet.IPv4, transport []byte) {
 		h.net.Count("host.drop.unconnected", 1)
 		return
 	}
-	out, err := hdr.Marshal(transport)
+	out, err := hdr.AppendTo(h.net.getBuf(), transport)
 	if err != nil {
 		h.net.Count("host.drop.encode", 1)
 		return

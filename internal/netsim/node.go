@@ -39,21 +39,22 @@ func (i *Iface) Peer() *Iface { return i.peer }
 func (i *Iface) SetLoss(p float64) { i.loss = p }
 
 // Send schedules pkt for delivery to the link peer after the link delay.
-// The buffer must not be modified by the caller afterwards.
+// Ownership of the buffer transfers to the network: it must not be
+// modified or retained by the caller afterwards (it is recycled into the
+// serialization pool once the receiver returns).
 func (i *Iface) Send(pkt []byte) {
 	if i.peer == nil {
 		i.net.Count("drop.unconnected", 1)
+		i.net.putBuf(pkt)
 		return
 	}
 	if i.loss > 0 && i.net.lossDraw() < i.loss {
-		i.net.Count("link.loss", 1)
+		i.net.CountID(cLinkLoss, 1)
+		i.net.putBuf(pkt)
 		return
 	}
-	peer := i.peer
-	i.net.Count("link.tx", 1)
-	i.net.engine.Schedule(i.delay, func() {
-		peer.Owner.Receive(pkt, peer)
-	})
+	i.net.CountID(cLinkTx, 1)
+	i.net.engine.scheduleDelivery(i.delay, pkt, i.peer)
 }
 
 // seedIPID derives a device's initial IP-ID counter value from its name
@@ -74,18 +75,40 @@ type Network struct {
 	engine   *Engine
 	nodes    []Node
 	byName   map[string]Node
-	counters map[string]uint64
-	lossRNG  uint64 // xorshift state for deterministic loss draws
+	counters []uint64 // indexed by interned counter ID
+	lossRNG  uint64   // xorshift state for deterministic loss draws
 	hook     func(at time.Duration, counter string)
+	bufs     [][]byte // free list of serialization buffers
+}
+
+// getBuf returns an empty buffer for packet serialization, reusing a
+// recycled one when available. Buffers flow: getBuf → AppendTo →
+// Iface.Send → delivery → putBuf. Receivers must never retain delivered
+// packet bytes beyond Receive (the long-standing Send/sniffer contract),
+// which is what makes the recycling safe.
+func (n *Network) getBuf() []byte {
+	if len(n.bufs) == 0 {
+		return make([]byte, 0, 128)
+	}
+	b := n.bufs[len(n.bufs)-1]
+	n.bufs = n.bufs[:len(n.bufs)-1]
+	return b
+}
+
+// putBuf returns a packet buffer to the free list.
+func (n *Network) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	n.bufs = append(n.bufs, b[:0])
 }
 
 // New returns an empty network with a fresh engine.
 func New() *Network {
 	return &Network{
-		engine:   NewEngine(),
-		byName:   make(map[string]Node),
-		counters: make(map[string]uint64),
-		lossRNG:  0x9e3779b97f4a7c15,
+		engine:  NewEngine(),
+		byName:  make(map[string]Node),
+		lossRNG: 0x9e3779b97f4a7c15,
 	}
 }
 
@@ -107,11 +130,20 @@ func (n *Network) Engine() *Engine { return n.engine }
 func (n *Network) Now() time.Duration { return n.engine.Now() }
 
 // Count adds delta to the named counter. Counter names are dotted paths
-// such as "drop.ratelimit" or "fwd.options".
+// such as "drop.ratelimit" or "fwd.options". Hot paths pre-intern the
+// name with CounterID and call CountID instead.
 func (n *Network) Count(name string, delta uint64) {
-	n.counters[name] += delta
+	n.CountID(CounterID(name), delta)
+}
+
+// CountID adds delta to the counter with the given interned ID.
+func (n *Network) CountID(id int, delta uint64) {
+	if id >= len(n.counters) {
+		n.counters = append(n.counters, make([]uint64, id+1-len(n.counters))...)
+	}
+	n.counters[id] += delta
 	if n.hook != nil {
-		n.hook(n.engine.Now(), name)
+		n.hook(n.engine.Now(), counterName(id))
 	}
 }
 
@@ -121,19 +153,25 @@ func (n *Network) Count(name string, delta uint64) {
 func (n *Network) SetEventHook(fn func(at time.Duration, counter string)) { n.hook = fn }
 
 // Counter returns the named counter's value.
-func (n *Network) Counter(name string) uint64 { return n.counters[name] }
+func (n *Network) Counter(name string) uint64 {
+	id, ok := lookupCounterID(name)
+	if !ok || id >= len(n.counters) {
+		return 0
+	}
+	return n.counters[id]
+}
 
-// Counters returns a sorted snapshot of all counters, for logs and tests.
+// Counters returns a sorted snapshot of all nonzero counters, for logs
+// and tests.
 func (n *Network) Counters() []string {
-	keys := make([]string, 0, len(n.counters))
-	for k := range n.counters {
-		keys = append(keys, k)
+	names := counterSnapshot()
+	var out []string
+	for id, v := range n.counters {
+		if v != 0 {
+			out = append(out, fmt.Sprintf("%s=%d", names[id], v))
+		}
 	}
-	sort.Strings(keys)
-	out := make([]string, len(keys))
-	for i, k := range keys {
-		out[i] = fmt.Sprintf("%s=%d", k, n.counters[k])
-	}
+	sort.Strings(out)
 	return out
 }
 
@@ -164,11 +202,12 @@ func (n *Network) Connect(a, b Node, addrA, addrB netip.Addr, delay time.Duratio
 	b.addIface(ib)
 	// Routers learn connected host routes to their link peers, as real
 	// routers do; everything else is the route computation's job.
+	// AddRoute (not fib.Add) so the router's route cache is invalidated.
 	if r, ok := a.(*Router); ok {
-		r.fib.Add(netip.PrefixFrom(addrB, 32), ia)
+		r.AddRoute(netip.PrefixFrom(addrB, 32), ia)
 	}
 	if r, ok := b.(*Router); ok {
-		r.fib.Add(netip.PrefixFrom(addrA, 32), ib)
+		r.AddRoute(netip.PrefixFrom(addrA, 32), ib)
 	}
 	return ia, ib
 }

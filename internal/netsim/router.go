@@ -61,12 +61,22 @@ type Router struct {
 	errLimiter *TokenBucket
 	ipid       uint16
 
+	// routeCache memoizes lookupRoute results per destination (including
+	// negative ones): the routing oracle recomputes a policy path on
+	// every packet, and forwarding asks the same question for every probe
+	// of a campaign. Invalidated whenever the FIB or oracle changes.
+	routeCache map[netip.Addr]*Iface
+
 	// scratch decoding state; safe because the engine is single-threaded.
 	ip packet.IPv4
 	rr packet.RecordRoute
 	ts packet.Timestamp
 	sr packet.SourceRoute
 }
+
+// routeCacheMax bounds the per-router cache; on overflow the cache is
+// reset wholesale, which keeps memory proportional to the working set.
+const routeCacheMax = 1 << 14
 
 // AddRouter creates a router and registers it with the network.
 func (n *Network) AddRouter(name string, behavior RouterBehavior) *Router {
@@ -102,16 +112,42 @@ func (r *Router) Behavior() RouterBehavior { return r.behavior }
 func (r *Router) FIB() *FIB { return r.fib }
 
 // AddRoute installs a route for prefix via the given interface.
-func (r *Router) AddRoute(prefix netip.Prefix, via *Iface) { r.fib.Add(prefix, via) }
+func (r *Router) AddRoute(prefix netip.Prefix, via *Iface) {
+	r.fib.Add(prefix, via)
+	r.invalidateRoutes()
+}
 
 // SetRouteFunc installs a routing oracle consulted before the FIB.
 // Large generated topologies use a shared oracle instead of populating
 // millions of per-router FIB entries; fn returning nil falls back to the
 // FIB (which still holds connected routes).
-func (r *Router) SetRouteFunc(fn func(dst netip.Addr) *Iface) { r.routeFn = fn }
+func (r *Router) SetRouteFunc(fn func(dst netip.Addr) *Iface) {
+	r.routeFn = fn
+	r.invalidateRoutes()
+}
 
-// lookupRoute resolves the egress interface for dst via the oracle or FIB.
+// invalidateRoutes drops all memoized lookups after a routing change.
+func (r *Router) invalidateRoutes() {
+	clear(r.routeCache)
+}
+
+// lookupRoute resolves the egress interface for dst via the oracle or
+// FIB, memoizing the result (nil included: no route stays no route until
+// routing changes).
 func (r *Router) lookupRoute(dst netip.Addr) *Iface {
+	if via, ok := r.routeCache[dst]; ok {
+		return via
+	}
+	via := r.lookupRouteSlow(dst)
+	if r.routeCache == nil || len(r.routeCache) >= routeCacheMax {
+		r.routeCache = make(map[netip.Addr]*Iface, 64)
+	}
+	r.routeCache[dst] = via
+	return via
+}
+
+// lookupRouteSlow is the uncached resolution path.
+func (r *Router) lookupRouteSlow(dst netip.Addr) *Iface {
 	if r.routeFn != nil {
 		if via := r.routeFn(dst); via != nil {
 			return via
@@ -159,7 +195,7 @@ func (r *Router) Receive(pkt []byte, on *Iface) {
 			r.net.Count("router.drop.ratelimit", 1)
 			return
 		}
-		r.net.Count("router.slowpath", 1)
+		r.net.CountID(cRouterSlowpath, 1)
 	}
 
 	if r.ownsAddr(r.ip.Dst) {
@@ -201,7 +237,7 @@ func (r *Router) Receive(pkt []byte, on *Iface) {
 				r.net.Count("router.drop.rrencode", 1)
 				return
 			}
-			r.net.Count("router.rr.stamped", 1)
+			r.net.CountID(cRouterStamped, 1)
 		}
 		// The Internet Timestamp option is processed on the same slow
 		// path; a full option increments its overflow counter.
@@ -211,16 +247,16 @@ func (r *Router) Receive(pkt []byte, on *Iface) {
 				r.net.Count("router.drop.tsencode", 1)
 				return
 			}
-			r.net.Count("router.ts.stamped", 1)
+			r.net.CountID(cRouterTS, 1)
 		}
 	}
 
-	out, err := r.ip.Marshal(payload)
+	out, err := r.ip.AppendTo(r.net.getBuf(), payload)
 	if err != nil {
 		r.net.Count("router.drop.encode", 1)
 		return
 	}
-	r.net.Count("router.fwd", 1)
+	r.net.CountID(cRouterFwd, 1)
 	if hasOpts && r.behavior.SlowPathDelay > 0 {
 		r.net.engine.Schedule(r.behavior.SlowPathDelay, func() { egress.Send(out) })
 		return
@@ -257,7 +293,7 @@ func (r *Router) forwardSourceRouted(payload []byte) {
 	if !r.behavior.NoTTLDecrement && r.ip.TTL > 1 {
 		r.ip.TTL--
 	}
-	out, err := r.ip.Marshal(payload)
+	out, err := r.ip.AppendTo(r.net.getBuf(), payload)
 	if err != nil {
 		r.net.Count("router.drop.encode", 1)
 		return
@@ -335,7 +371,7 @@ func (r *Router) sendLocal(hdr *packet.IPv4, transport []byte) {
 		r.net.Count("router.drop.noroute.local", 1)
 		return
 	}
-	out, err := hdr.Marshal(transport)
+	out, err := hdr.AppendTo(r.net.getBuf(), transport)
 	if err != nil {
 		r.net.Count("router.drop.encode", 1)
 		return

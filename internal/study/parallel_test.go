@@ -1,0 +1,125 @@
+package study
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+
+	"recordroute/internal/topology"
+)
+
+// runBothWays executes RunResponsiveness and RunReachability on two
+// studies built from the same config — one pinned to the sequential
+// engine, one forced onto three shards — and returns all four results.
+func runBothWays(t *testing.T) (seqR, parR *Responsiveness, seqRe, parRe *Reachability) {
+	t.Helper()
+	cfg := topology.DefaultConfig(topology.Epoch2016).Scale(0.25)
+	cfg.Seed = 3
+	opts := Options{Rate: 200, ShuffleSeed: 7}
+
+	opts.Shards = 1
+	seq, err := New(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Shards = 3
+	par, err := New(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqR = seq.RunResponsiveness()
+	parR = par.RunResponsiveness()
+	seqRe = seq.RunReachability(seqR)
+	parRe = par.RunReachability(parR)
+	return
+}
+
+// TestParallelStudyByteIdentical is the study-level determinism
+// contract from DESIGN.md: the rendered Table 1 and §3.3/Figure 1
+// summaries must be byte-identical whether the campaign ran on one
+// engine or on a sharded fleet, and the per-VP result streams must
+// match field-for-field apart from ReplyIPID (destination IP-ID
+// counters see only shard-local traffic; no summary reads them).
+func TestParallelStudyByteIdentical(t *testing.T) {
+	seqR, parR, seqRe, parRe := runBothWays(t)
+
+	var seqOut, parOut bytes.Buffer
+	seqR.Render(&seqOut)
+	parR.Render(&parOut)
+	if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+		t.Errorf("Table 1 render differs between sequential and sharded runs:\n--- sequential ---\n%s\n--- sharded ---\n%s",
+			seqOut.String(), parOut.String())
+	}
+
+	seqOut.Reset()
+	parOut.Reset()
+	seqRe.Render(&seqOut)
+	parRe.Render(&parOut)
+	if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+		t.Errorf("reachability render differs between sequential and sharded runs:\n--- sequential ---\n%s\n--- sharded ---\n%s",
+			seqOut.String(), parOut.String())
+	}
+}
+
+// TestParallelStudyPerVPOrdering checks the merge discipline below the
+// summaries: same VP set, and per VP the same destinations in the same
+// send order with identical probe outcomes.
+func TestParallelStudyPerVPOrdering(t *testing.T) {
+	seqR, parR, _, _ := runBothWays(t)
+
+	var seqVPs, parVPs []string
+	for vp := range seqR.PerVP {
+		seqVPs = append(seqVPs, vp)
+	}
+	for vp := range parR.PerVP {
+		parVPs = append(parVPs, vp)
+	}
+	sort.Strings(seqVPs)
+	sort.Strings(parVPs)
+	if !reflect.DeepEqual(seqVPs, parVPs) {
+		t.Fatalf("VP sets differ: sequential %v vs sharded %v", seqVPs, parVPs)
+	}
+
+	for _, vp := range seqVPs {
+		srs, prs := seqR.PerVP[vp], parR.PerVP[vp]
+		if len(srs) != len(prs) {
+			t.Errorf("VP %s: %d results sequential vs %d sharded", vp, len(srs), len(prs))
+			continue
+		}
+		for i := range srs {
+			a, b := srs[i], prs[i]
+			a.ReplyIPID, b.ReplyIPID = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("VP %s result %d differs:\nsequential: %+v\nsharded:    %+v", vp, i, a, b)
+				break
+			}
+		}
+	}
+}
+
+// TestStudyShardsOptionResolution pins the executor-selection rules:
+// Shards=1 must hand back the shared-engine Campaign itself, Shards>1 a
+// ParallelCampaign, and the resolved fleet is cached.
+func TestStudyShardsOptionResolution(t *testing.T) {
+	cfg := topology.DefaultConfig(topology.Epoch2016).Scale(0.15)
+	seq, err := New(cfg, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Fleet() != interface{}(seq.Camp) {
+		t.Errorf("Shards=1: Fleet() is not the shared-engine Campaign")
+	}
+	par, err := New(cfg, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := par.Fleet()
+	if fl == interface{}(par.Camp) {
+		t.Errorf("Shards=2: Fleet() fell back to the shared-engine Campaign")
+	}
+	if fl != par.Fleet() {
+		t.Errorf("Fleet() not cached across calls")
+	}
+}

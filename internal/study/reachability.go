@@ -119,11 +119,12 @@ func (s *Study) resolveAliases(r *Responsiveness) (*alias.Sets, int) {
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Less(cands[j]) })
 
+	fleet := s.Fleet()
 	var series map[netip.Addr]alias.Series
-	alias.Collect(s.Origin.Prober, cands, 5, s.Opts.probeOpts(), func(m map[netip.Addr]alias.Series) {
+	alias.Collect(fleet.VP(s.Origin.Name).Prober, cands, 5, s.Opts.probeOpts(), func(m map[netip.Addr]alias.Series) {
 		series = m
 	})
-	s.Camp.Eng.Run()
+	fleet.Run()
 	sets := alias.Resolve(series, pairs, alias.Config{})
 	n := analysis.ApplyAliases(r.Stats, r.PerVP, sets.Canonical)
 	return sets, n
@@ -146,7 +147,7 @@ func (s *Study) runRRUDP(r *Responsiveness) int {
 	for _, vp := range s.Camp.VPs {
 		perVP[vp.Name] = targets
 	}
-	results := s.Camp.PingRRUDPAll(perVP, s.Opts.probeOpts())
+	results := s.Fleet().PingRRUDPAll(perVP, s.Opts.probeOpts())
 	return analysis.ApplyRRUDP(r.Stats, results)
 }
 

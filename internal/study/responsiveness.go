@@ -40,16 +40,20 @@ func (s *Study) RunResponsiveness() *Responsiveness {
 		NumVPs: len(s.Camp.VPs),
 	}
 
+	// The experiment is sharding-invariant (each VP's probe stream is
+	// independent), so it probes through the configured fleet executor.
+	fleet := s.Fleet()
+
 	// Phase 1: three plain pings per destination from the origin host
 	// (the paper's USC machine).
 	var grouped [][]probe.Result
-	s.Origin.PingBatch(r.Dests, 3, s.Opts.probeOpts(), func(g [][]probe.Result) { grouped = g })
-	s.Camp.Eng.Run()
+	fleet.VP(s.Origin.Name).PingBatch(r.Dests, 3, s.Opts.probeOpts(), func(g [][]probe.Result) { grouped = g })
+	fleet.Run()
 	r.PingResp = analysis.PingResponsive(r.Dests, grouped)
 
 	// Phase 2: one ping-RR per destination from every VP, each VP in
 	// its own randomized order.
-	perVP := s.Camp.PingRRAll(r.Dests, s.Opts.probeOpts(), s.Shuffler())
+	perVP := fleet.PingRRAll(r.Dests, s.Opts.probeOpts(), s.Shuffler())
 	r.PerVP = perVP
 	r.Stats = analysis.AggregateRR(perVP)
 	for _, rs := range perVP {

@@ -19,6 +19,7 @@ package study
 import (
 	"math/rand/v2"
 	"net/netip"
+	"runtime"
 	"time"
 
 	"recordroute/internal/dataset"
@@ -36,6 +37,14 @@ type Options struct {
 	Timeout time.Duration
 	// ShuffleSeed drives per-VP destination-order randomization.
 	ShuffleSeed uint64
+	// Shards selects the campaign executor for the experiments whose
+	// results are invariant under VP sharding (responsiveness,
+	// reachability, epoch comparison): 0 picks runtime.GOMAXPROCS
+	// shards, 1 forces the single shared engine, >1 forces that many
+	// shards. Rate-limiting experiments (Figure 4) ignore it — they
+	// measure cross-VP contention at shared policers and always run on
+	// the single engine.
+	Shards int
 }
 
 func (o Options) rate() float64 {
@@ -56,6 +65,13 @@ func (o Options) probeOpts() probe.Options {
 	return probe.Options{Rate: o.rate(), Timeout: o.timeout()}
 }
 
+func (o Options) shards() int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Study binds a built topology to its datasets and vantage points.
 type Study struct {
 	Topo *topology.Topology
@@ -71,6 +87,9 @@ type Study struct {
 	// for the paper's single USC machine. It is the first M-Lab VP not
 	// behind a source-proximate policer.
 	Origin *measure.VantagePoint
+
+	cfg   topology.Config
+	fleet measure.Fleet
 }
 
 // New builds the simulated Internet for cfg and wires up the campaign.
@@ -83,6 +102,7 @@ func New(cfg topology.Config, opts Options) (*Study, error) {
 		Topo: topo,
 		Data: dataset.FromTopology(topo),
 		Opts: opts,
+		cfg:  cfg,
 	}
 	s.Camp = measure.NewCampaign(topo, topo.VPs)
 	s.CloudCamp = measure.NewCampaign(topo, topo.CloudVPs)
@@ -96,6 +116,27 @@ func New(cfg topology.Config, opts Options) (*Study, error) {
 		s.Origin = s.Camp.VPs[0]
 	}
 	return s, nil
+}
+
+// Fleet returns the campaign executor sharding-invariant experiments
+// probe through: the shared-engine Campaign when Opts resolves to one
+// shard, otherwise a lazily built ParallelCampaign over the same config
+// and seed. Experiments that measure cross-VP contention (Figure 4)
+// must keep using s.Camp directly — see measure.ParallelCampaign's
+// determinism contract.
+func (s *Study) Fleet() measure.Fleet {
+	if s.fleet == nil {
+		if k := s.Opts.shards(); k <= 1 {
+			s.fleet = s.Camp
+		} else {
+			pc, err := measure.NewParallelCampaign(s.cfg, k)
+			if err != nil {
+				panic(err) // k >= 2 here; NewParallelCampaign rejects only k < 1
+			}
+			s.fleet = pc
+		}
+	}
+	return s.fleet
 }
 
 // MustNew is New for known-good configurations.

@@ -30,7 +30,7 @@ func New(opts ...Option) (*Internet, error) {
 	if err := validateScale(o.scale); err != nil {
 		return nil, err
 	}
-	st, err := study.New(cfg, study.Options{Rate: o.rate, Timeout: o.timeout})
+	st, err := study.New(cfg, study.Options{Rate: o.rate, Timeout: o.timeout, Shards: o.shards})
 	if err != nil {
 		return nil, err
 	}

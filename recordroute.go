@@ -47,6 +47,7 @@ type options struct {
 	seed    uint64
 	rate    float64
 	timeout time.Duration
+	shards  int
 }
 
 // Option configures New.
@@ -68,6 +69,14 @@ func WithProbeRate(pps float64) Option { return func(o *options) { o.rate = pps 
 
 // WithTimeout sets the per-probe timeout (default 2s of virtual time).
 func WithTimeout(d time.Duration) Option { return func(o *options) { o.timeout = d } }
+
+// WithShards sets the campaign executor parallelism for the
+// sharding-invariant experiments (Table 1, Figure 1, Figure 2): 0
+// (default) uses one shard per runtime.GOMAXPROCS, 1 forces the single
+// shared-engine path, k > 1 runs k simulator replicas on a worker pool.
+// Results are identical either way; see DESIGN.md "Parallel execution
+// model". Figure 4 always runs single-engine regardless.
+func WithShards(k int) Option { return func(o *options) { o.shards = k } }
 
 // buildConfig resolves options into a topology configuration.
 func buildConfig(opts []Option) (topology.Config, options) {
