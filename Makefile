@@ -13,7 +13,7 @@ vet:
 	$(GO) vet ./...
 
 test: vet
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Headline campaign benchmarks (Table 1, Figure 1 sequential and
 # sharded, Figure 2), archived as machine-readable JSON. The record
@@ -31,7 +31,7 @@ bench-all:
 # Race-check the concurrent layers: the sharded campaign executor and
 # the simulator substrate it runs replicas of.
 race:
-	$(GO) test -race ./internal/measure/... ./internal/netsim/... ./internal/study/...
+	$(GO) test -race ./internal/measure/... ./internal/netsim/... ./internal/study/... ./internal/probe/...
 
 # Reproduce every table and figure at full default scale (~30 s).
 study:

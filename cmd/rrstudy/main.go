@@ -6,7 +6,7 @@
 //	rrstudy [-scale 1.0] [-seed N] [-rate PPS] [-experiment all]
 //
 // Experiments: all, table1, fig1, fig2, audit, fig3, fig4, fig5, vpdist,
-// atlas, lsrr.
+// atlas, lsrr, chaos.
 // At -scale 1.0 (the default, ≈1/100 of the paper's probing volume) the
 // full run takes on the order of a minute.
 package main
@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -31,10 +32,14 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "topology scale factor (1.0 ≈ 1/100 of the paper)")
 		seed       = flag.Uint64("seed", 0, "random seed (0 = built-in default)")
 		rate       = flag.Float64("rate", 20, "per-VP probing rate in packets per second")
-		experiment = flag.String("experiment", "all", "experiment to run: all|table1|fig1|fig2|audit|fig3|fig4|fig5|vpdist|atlas|lsrr")
+		experiment = flag.String("experiment", "all", "experiment to run: all|table1|fig1|fig2|audit|fig3|fig4|fig5|vpdist|atlas|lsrr|chaos")
 		jsonOut    = flag.String("json", "", "also write the combined machine-readable report to this file (all experiments only)")
 		dump       = flag.String("dump", "", "archive the raw per-VP ping-RR results to this file")
 		outdir     = flag.String("outdir", "", "also write each experiment's rendering to its own file in this directory (all experiments only)")
+
+		chaosLoss    = flag.Float64("chaos-loss", 0, "chaos: custom scenario per-direction loss probability on a quarter of links (0 = default sweep)")
+		chaosOutages = flag.Float64("chaos-outages", 0, "chaos: custom scenario fraction of routers suffering a transient outage")
+		chaosRetries = flag.Int("chaos-retries", 2, "chaos: recovery-arm retransmission budget")
 	)
 	flag.Parse()
 
@@ -65,16 +70,12 @@ func main() {
 			log.Fatal(err)
 		}
 		if *jsonOut != "" {
-			f, err := os.Create(*jsonOut)
+			err := writeFileAtomic(*jsonOut, func(f io.Writer) error {
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				return enc.Encode(rep)
+			})
 			if err != nil {
-				log.Fatal(err)
-			}
-			enc := json.NewEncoder(f)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(rep); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "# report written to %s\n", *jsonOut)
@@ -99,6 +100,20 @@ func main() {
 		inet.TopologyAtlas(w, 0)
 	case "lsrr":
 		inet.SourceRouteCheck(w, 0)
+	case "chaos":
+		var scenarios []recordroute.ChaosScenario
+		if *chaosLoss > 0 || *chaosOutages > 0 {
+			scenarios = append(scenarios, recordroute.ChaosScenario{
+				Label: "custom",
+				Faults: recordroute.FaultProfile{
+					LossProb: *chaosLoss, LossFrac: 0.25,
+					OutageFrac: *chaosOutages,
+				},
+			})
+		}
+		if _, err := inet.ChaosReport(w, *chaosRetries, scenarios...); err != nil {
+			log.Fatal(err)
+		}
 	case "vpdist":
 		d := inet.VPResponseDistribution()
 		fmt.Printf("RR-responsive destinations answering >2/3 of VPs: %.2f (paper: ~0.80)\n", d.AboveTwoThirds)
@@ -106,14 +121,10 @@ func main() {
 		log.Fatalf("unknown experiment %q", *experiment)
 	}
 	if *dump != "" {
-		f, err := os.Create(*dump)
+		err := writeFileAtomic(*dump, func(f io.Writer) error {
+			return results.Write(f, inet.RawPingRRResults())
+		})
 		if err != nil {
-			log.Fatal(err)
-		}
-		if err := results.Write(f, inet.RawPingRRResults()); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "# raw results archived to %s\n", *dump)
@@ -121,49 +132,62 @@ func main() {
 	fmt.Fprintf(os.Stderr, "\n# total wall time %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-// runAllToDir mirrors RunAll but tees each experiment into its own file.
+// writeFileAtomic writes through a temp file in the destination
+// directory and renames it into place, so an interrupted run never
+// leaves a truncated file under the final name and a concurrent reader
+// sees either the old complete file or the new one.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name()) // no-op after a successful rename
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+// runAllToDir mirrors RunAll but tees each experiment into its own
+// file, each written atomically.
 func runAllToDir(inet *recordroute.Internet, w *os.File, dir string) (recordroute.Report, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return recordroute.Report{}, err
 	}
 	var rep recordroute.Report
-	run := func(name string, fn func(out *os.File)) error {
-		f, err := os.Create(filepath.Join(dir, name+".txt"))
-		if err != nil {
+	run := func(name string, fn func(out io.Writer) error) error {
+		path := filepath.Join(dir, name+".txt")
+		if err := writeFileAtomic(path, fn); err != nil {
 			return err
 		}
-		fn(f)
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "# wrote %s\n", filepath.Join(dir, name+".txt"))
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", path)
 		return nil
 	}
 	steps := []struct {
 		name string
-		fn   func(out *os.File) error
+		fn   func(out io.Writer) error
 	}{
-		{"table1", func(out *os.File) error { rep.Table1 = inet.Table1(out); return nil }},
-		{"figure1", func(out *os.File) error { rep.Reachability = inet.Figure1Reachability(out); return nil }},
-		{"figure2", func(out *os.File) error {
+		{"table1", func(out io.Writer) error { rep.Table1 = inet.Table1(out); return nil }},
+		{"figure1", func(out io.Writer) error { rep.Reachability = inet.Figure1Reachability(out); return nil }},
+		{"figure2", func(out io.Writer) error {
 			var err error
 			rep.Epochs, err = inet.Figure2Epochs(out)
 			return err
 		}},
-		{"audit", func(out *os.File) error { rep.StampAudit = inet.StampAudit(out, 0); return nil }},
-		{"figure3", func(out *os.File) error { rep.Clouds = inet.Figure3Clouds(out, 0); return nil }},
-		{"figure4", func(out *os.File) error { rep.RateLimit = inet.Figure4RateLimit(out, 1000); return nil }},
-		{"figure5", func(out *os.File) error { rep.TTL = inet.Figure5TTL(out, 0); return nil }},
-		{"atlas", func(out *os.File) error { rep.Atlas = inet.TopologyAtlas(out, 0); return nil }},
-		{"lsrr", func(out *os.File) error { rep.SourceRoute = inet.SourceRouteCheck(out, 0); return nil }},
+		{"audit", func(out io.Writer) error { rep.StampAudit = inet.StampAudit(out, 0); return nil }},
+		{"figure3", func(out io.Writer) error { rep.Clouds = inet.Figure3Clouds(out, 0); return nil }},
+		{"figure4", func(out io.Writer) error { rep.RateLimit = inet.Figure4RateLimit(out, 1000); return nil }},
+		{"figure5", func(out io.Writer) error { rep.TTL = inet.Figure5TTL(out, 0); return nil }},
+		{"atlas", func(out io.Writer) error { rep.Atlas = inet.TopologyAtlas(out, 0); return nil }},
+		{"lsrr", func(out io.Writer) error { rep.SourceRoute = inet.SourceRouteCheck(out, 0); return nil }},
 	}
 	for _, st := range steps {
-		var inner error
-		if err := run(st.name, func(out *os.File) { inner = st.fn(out) }); err != nil {
+		if err := run(st.name, st.fn); err != nil {
 			return rep, err
-		}
-		if inner != nil {
-			return rep, inner
 		}
 	}
 	rep.VPResponse = inet.VPResponseDistribution()

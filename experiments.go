@@ -330,6 +330,76 @@ func (in *Internet) VPResponseDistribution() VPResponseSummary {
 	return VPResponseSummary{AboveTwoThirds: in.responsiveness().VPResponseDist().AboveTwoThirds}
 }
 
+// ChaosScenario pairs a label with the fault profile to sweep in
+// ChaosReport.
+type ChaosScenario struct {
+	Label  string
+	Faults FaultProfile
+}
+
+// ChaosLevelSummary is one sweep level's machine-readable core.
+type ChaosLevelSummary struct {
+	Label string
+	// SingleShotReachable and RetryReachable are the RR-reachable
+	// counts of the degradation and recovery arms.
+	SingleShotReachable, RetryReachable int
+	// Lost counts baseline-reachable destinations the single-shot arm
+	// misclassified under faults; Recovered how many retries plus the
+	// §3.3 rescue pipeline won back.
+	Lost, Recovered int
+}
+
+// ChaosSummary is the machine-readable core of the chaos experiment.
+type ChaosSummary struct {
+	// BaselineReachable is the fault-free RR-reachable count.
+	BaselineReachable int
+	// Retries is the recovery arm's retransmission budget.
+	Retries int
+	Levels  []ChaosLevelSummary
+}
+
+// ChaosReport runs the fault-injection experiment: each scenario (or
+// the default loss/outage sweep when none are given) is measured twice
+// on a freshly built faulted Internet — single-shot, then with retries
+// and adaptive timeouts — and compared against the fault-free
+// baseline. retries <= 0 uses the default budget of 2. The sweep is a
+// pure function of the seed, so reports are byte-reproducible.
+func (in *Internet) ChaosReport(w io.Writer, retries int, scenarios ...ChaosScenario) (ChaosSummary, error) {
+	cfg, _ := buildConfig([]Option{
+		WithScale(in.opts.scale), WithSeed(in.opts.seed),
+		WithProbeRate(in.opts.rate), WithTimeout(in.opts.timeout),
+	})
+	var levels []study.ChaosLevel
+	for _, sc := range scenarios {
+		levels = append(levels, study.ChaosLevel{Label: sc.Label, Faults: *sc.Faults.faultConfig(cfg.Seed)})
+	}
+	ch, err := study.RunChaos(cfg, study.Options{
+		Rate: in.opts.rate, Timeout: in.opts.timeout,
+		Shards: in.opts.shards, Retries: retries,
+	}, levels)
+	if err != nil {
+		return ChaosSummary{}, err
+	}
+	if w != nil {
+		ch.Render(w)
+	}
+	s := ChaosSummary{BaselineReachable: ch.Baseline.RRReachable, Retries: ch.Retries}
+	for _, st := range ch.Steps {
+		s.Levels = append(s.Levels, ChaosLevelSummary{
+			Label:               st.Label,
+			SingleShotReachable: st.NoRetry.RRReachable,
+			RetryReachable:      st.Retry.RRReachable,
+			Lost:                st.Lost,
+			Recovered:           st.Recovered,
+		})
+	}
+	return s, nil
+}
+
+// InstalledFaults describes the fault plan WithFaults installed on
+// this Internet ("links=… lossy=… …"); all zeros without WithFaults.
+func (in *Internet) InstalledFaults() string { return in.st.Topo.Faults.String() }
+
 // Report bundles every experiment's machine-readable summary, the
 // paper-vs-measured record a reproduction run leaves behind.
 type Report struct {

@@ -13,6 +13,18 @@ import (
 // to quiescence. It is implemented by Campaign (one shared engine) and
 // ParallelCampaign (sharded engine replicas with a deterministic merge),
 // so experiments choose an execution strategy without changing shape.
+//
+// Partial-results contract: when a shard of a sharded executor fails
+// mid-primitive (a panic while its engine drains), the failure is
+// contained to that shard. The primitive still returns, merging the
+// surviving shards' results as usual; the failed shard's VPs are
+// missing (or, if the failure struck between batch completions,
+// partial) in the returned maps and are excluded from every later
+// primitive. ShardErrors reports exactly which VPs were lost and why —
+// callers that need completeness must check it after each primitive.
+// The single-engine Campaign has no shard boundary to contain a
+// failure, so there a panic propagates to the caller and ShardErrors
+// is always empty.
 type Fleet interface {
 	// VP returns the named vantage point, or nil.
 	VP(name string) *VantagePoint
@@ -25,6 +37,10 @@ type Fleet interface {
 	PingAll(dests []netip.Addr, count int, opts probe.Options) map[string][][]probe.Result
 	// PingRRUDPAll sends one ping-RRudp from every VP to its targets.
 	PingRRUDPAll(perVP map[string][]netip.Addr, opts probe.Options) map[string][]probe.Result
+	// ShardErrors reports executor slices that failed during earlier
+	// primitives, in shard order; empty while every shard is healthy.
+	// See the partial-results contract above.
+	ShardErrors() []ShardError
 }
 
 // Campaign fans measurements across many vantage points concurrently
@@ -61,6 +77,11 @@ func (c *Campaign) VP(name string) *VantagePoint {
 
 // Run drains the engine's event queue.
 func (c *Campaign) Run() { c.Eng.Run() }
+
+// ShardErrors always returns nil: the single shared engine has no
+// shard boundary to contain a failure, so a panic propagates to the
+// caller instead of being recovered per-shard.
+func (c *Campaign) ShardErrors() []ShardError { return nil }
 
 // PingRRAll sends one ping-RR from every VP to every destination in
 // dests (per-VP order may be permuted via orderFor) and returns results

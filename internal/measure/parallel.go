@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/netip"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -54,11 +56,35 @@ var (
 )
 
 // replica is one shard: a full topology replica plus the VantagePoints
-// (with their original campaign prober IDs) assigned to it.
+// (with their original campaign prober IDs) assigned to it. A replica
+// that panics during a primitive is marked dead and carries the
+// recovered failure; dead replicas are excluded from every later
+// primitive and clock sync. Only the replica's own worker goroutine
+// writes dead/err, and readers run after the pool joins, so no lock.
 type replica struct {
 	topo *topology.Topology
 	eng  *netsim.Engine
 	vps  []*VantagePoint
+
+	dead bool
+	err  error
+}
+
+// ShardError reports one shard that failed during a primitive: the
+// replica index, the vantage points whose results are missing or
+// partial because of it, and the recovered failure.
+type ShardError struct {
+	// Shard is the replica index within the fleet.
+	Shard int
+	// VPs names the vantage points assigned to the failed shard.
+	VPs []string
+	// Err is the recovered failure, including the panic stack.
+	Err error
+}
+
+// Error satisfies the error interface.
+func (e ShardError) Error() string {
+	return fmt.Sprintf("measure: shard %d (VPs %s): %v", e.Shard, strings.Join(e.VPs, ","), e.Err)
 }
 
 // NewParallelCampaign returns a K-shard campaign over cfg's platform
@@ -150,11 +176,13 @@ func (pc *ParallelCampaign) mustInit() {
 
 // VP returns the named vantage point's shard replica instance, or nil.
 // Probes started on it run inside that VP's shard engine; follow with
-// Run to drain and re-synchronize the fleet.
+// Run to drain and re-synchronize the fleet. VPs on a dead shard
+// return nil too: their engine will never run again, so probes started
+// there would hang forever.
 func (pc *ParallelCampaign) VP(name string) *VantagePoint {
 	pc.mustInit()
 	s, ok := pc.vpShard[name]
-	if !ok {
+	if !ok || pc.replicas[s].dead {
 		return nil
 	}
 	for _, vp := range pc.replicas[s].vps {
@@ -171,21 +199,54 @@ func (pc *ParallelCampaign) VPNames() []string {
 	return pc.vpNames
 }
 
-// eachShard runs fn per replica on a GOMAXPROCS-sized worker pool and
-// waits for all of them; fn owns its replica's engine for the duration.
+// eachShard runs fn per live replica on a GOMAXPROCS-sized worker pool
+// and waits for all of them; fn owns its replica's engine for the
+// duration. A panic inside fn kills only its own shard: it is
+// recovered here, the replica is marked dead, and later primitives and
+// clock syncs skip it, so the surviving shards keep producing results
+// (the Fleet partial-results contract). ShardErrors reports the loss.
 func (pc *ParallelCampaign) eachShard(fn func(*replica)) {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for _, rep := range pc.replicas {
+	for i, rep := range pc.replicas {
+		if rep.dead {
+			continue
+		}
 		wg.Add(1)
-		go func(rep *replica) {
+		go func(i int, rep *replica) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					rep.dead = true
+					rep.err = fmt.Errorf("shard %d panicked at t=%v: %v\n%s",
+						i, rep.eng.Now(), r, debug.Stack())
+				}
+			}()
 			fn(rep)
-		}(rep)
+		}(i, rep)
 	}
 	wg.Wait()
+}
+
+// ShardErrors reports the shards that died during earlier primitives,
+// in shard order; empty while every replica is healthy. The named VPs
+// are the ones whose results are missing or partial in primitives run
+// since (and including) the one that killed the shard.
+func (pc *ParallelCampaign) ShardErrors() []ShardError {
+	var errs []ShardError
+	for i, rep := range pc.replicas {
+		if rep == nil || !rep.dead {
+			continue
+		}
+		names := make([]string, 0, len(rep.vps))
+		for _, vp := range rep.vps {
+			names = append(names, vp.Name)
+		}
+		errs = append(errs, ShardError{Shard: i, VPs: names, Err: rep.err})
+	}
+	return errs
 }
 
 // syncClocks advances every shard clock to the fleet-wide maximum —
@@ -194,11 +255,17 @@ func (pc *ParallelCampaign) eachShard(fn func(*replica)) {
 func (pc *ParallelCampaign) syncClocks() {
 	var max time.Duration
 	for _, rep := range pc.replicas {
+		if rep.dead {
+			continue
+		}
 		if now := rep.eng.Now(); now > max {
 			max = now
 		}
 	}
 	for _, rep := range pc.replicas {
+		if rep.dead {
+			continue
+		}
 		rep.eng.RunUntil(max)
 	}
 }

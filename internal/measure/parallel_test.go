@@ -131,6 +131,94 @@ func TestParallelCampaignMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParallelCampaignShardFailureIsolated is the partial-results
+// contract: a shard that panics mid-primitive is recovered, reported
+// through ShardErrors with its lost VPs, and the surviving shards keep
+// returning complete results — in that primitive and in later ones.
+func TestParallelCampaignShardFailureIsolated(t *testing.T) {
+	par, err := NewParallelCampaign(testConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := par.VPNames() // forces replica build
+	if len(names) < 3 {
+		t.Fatalf("only %d VPs at test scale", len(names))
+	}
+
+	dests := make([]netip.Addr, 0, 10)
+	for _, d := range par.replicas[0].topo.Dests {
+		dests = append(dests, d.Addr)
+		if len(dests) == 10 {
+			break
+		}
+	}
+
+	// Kill shard 1 mid-primitive: the injected event panics while the
+	// shard engine drains its probe batches, before any batch completes.
+	par.replicas[1].eng.Schedule(0, func() { panic("injected shard fault") })
+
+	dead := make(map[string]bool)
+	for i, n := range names {
+		if i%3 == 1 {
+			dead[n] = true
+		}
+	}
+
+	opts := probe.Options{Rate: 100}
+	got := par.PingRRAll(dests, opts, nil)
+
+	errs := par.ShardErrors()
+	if len(errs) != 1 {
+		t.Fatalf("ShardErrors = %v, want exactly the killed shard", errs)
+	}
+	se := errs[0]
+	if se.Shard != 1 || se.Err == nil {
+		t.Errorf("ShardError = shard %d err %v, want shard 1 with an error", se.Shard, se.Err)
+	}
+	if len(se.VPs) != len(dead) {
+		t.Errorf("ShardError names %d VPs, want %d", len(se.VPs), len(dead))
+	}
+	for _, n := range se.VPs {
+		if !dead[n] {
+			t.Errorf("ShardError names VP %s, which lives on another shard", n)
+		}
+	}
+
+	for _, n := range names {
+		rs, ok := got[n]
+		if dead[n] {
+			if ok {
+				t.Errorf("dead-shard VP %s returned %d results", n, len(rs))
+			}
+			if par.VP(n) != nil {
+				t.Errorf("VP(%q) on a dead shard is non-nil", n)
+			}
+			continue
+		}
+		if !ok || len(rs) != len(dests) {
+			t.Errorf("surviving VP %s: %d results, want %d", n, len(rs), len(dests))
+		}
+	}
+
+	// A later primitive still runs on the survivors without re-reporting
+	// new failures.
+	again := par.PingAll(dests[:3], 1, opts)
+	for _, n := range names {
+		if dead[n] {
+			if _, ok := again[n]; ok {
+				t.Errorf("dead-shard VP %s resurfaced in a later primitive", n)
+			}
+			continue
+		}
+		if len(again[n]) != 3 {
+			t.Errorf("surviving VP %s: %d ping groups, want 3", n, len(again[n]))
+		}
+	}
+	if got := par.ShardErrors(); len(got) != 1 {
+		t.Errorf("ShardErrors grew to %d after a healthy primitive", len(got))
+	}
+}
+
 // TestParallelCampaignShardClamp checks that absurd shard counts clamp
 // to the VP population instead of building empty replicas.
 func TestParallelCampaignShardClamp(t *testing.T) {

@@ -24,10 +24,11 @@ type Iface struct {
 	// Owner is the node this interface belongs to.
 	Owner Node
 
-	peer  *Iface
-	delay time.Duration
-	loss  float64 // per-direction drop probability
-	net   *Network
+	peer   *Iface
+	delay  time.Duration
+	loss   float64 // per-direction drop probability
+	net    *Network
+	faults *linkFaults // nil when no fault plan afflicts this direction
 }
 
 // Peer returns the interface at the other end of the link.
@@ -53,8 +54,29 @@ func (i *Iface) Send(pkt []byte) {
 		i.net.putBuf(pkt)
 		return
 	}
+	delay := i.delay
+	if f := i.faults; f != nil {
+		if f.down.active(i.net.Now()) {
+			i.net.CountID(cChaosLinkDown, 1)
+			i.net.putBuf(pkt)
+			return
+		}
+		if f.loss > 0 && chaosDraw(f.salt, chaosSaltLoss, pkt) < f.loss {
+			i.net.CountID(cChaosLoss, 1)
+			i.net.putBuf(pkt)
+			return
+		}
+		if f.jitterMax > 0 {
+			delay += time.Duration(chaosDraw(f.salt, chaosSaltJitter, pkt) * float64(f.jitterMax))
+		}
+		if f.dup > 0 && chaosDraw(f.salt, chaosSaltDup, pkt) < f.dup {
+			cp := append(i.net.getBuf(), pkt...)
+			i.net.CountID(cChaosDup, 1)
+			i.net.engine.scheduleDelivery(delay+i.delay/2, cp, i.peer)
+		}
+	}
 	i.net.CountID(cLinkTx, 1)
-	i.net.engine.scheduleDelivery(i.delay, pkt, i.peer)
+	i.net.engine.scheduleDelivery(delay, pkt, i.peer)
 }
 
 // seedIPID derives a device's initial IP-ID counter value from its name

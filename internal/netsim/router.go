@@ -60,6 +60,7 @@ type Router struct {
 	limiter    *TokenBucket
 	errLimiter *TokenBucket
 	ipid       uint16
+	faults     *routerFaults // nil when no fault plan afflicts this router
 
 	// routeCache memoizes lookupRoute results per destination (including
 	// negative ones): the routing oracle recomputes a policy path on
@@ -135,6 +136,16 @@ func (r *Router) invalidateRoutes() {
 // FIB, memoizing the result (nil included: no route stays no route until
 // routing changes).
 func (r *Router) lookupRoute(dst netip.Addr) *Iface {
+	if f := r.faults; f != nil && f.withdraw.duty > 0 {
+		// A transient withdrawal boundary invalidates memoized routes —
+		// the same hook a real routing change uses — so cached entries
+		// never straddle a withdrawal flip.
+		if n := f.withdraw.flips(r.net.Now()); n != f.wFlips {
+			f.wFlips = n
+			r.invalidateRoutes()
+			r.net.Count("chaos.route.flip", 1)
+		}
+	}
 	if via, ok := r.routeCache[dst]; ok {
 		return via
 	}
@@ -148,6 +159,10 @@ func (r *Router) lookupRoute(dst netip.Addr) *Iface {
 
 // lookupRouteSlow is the uncached resolution path.
 func (r *Router) lookupRouteSlow(dst netip.Addr) *Iface {
+	if f := r.faults; f != nil && f.prefix.IsValid() &&
+		f.prefix.Contains(dst) && f.withdraw.active(r.net.Now()) {
+		return nil
+	}
 	if r.routeFn != nil {
 		if via := r.routeFn(dst); via != nil {
 			return via
@@ -177,6 +192,10 @@ func (r *Router) nextID() uint16 {
 
 // Receive implements Node. It is the router's forwarding path.
 func (r *Router) Receive(pkt []byte, on *Iface) {
+	if f := r.faults; f != nil && f.offline.active(r.net.Now()) {
+		r.net.CountID(cChaosOffline, 1)
+		return
+	}
 	payload, err := r.ip.Decode(pkt)
 	if err != nil {
 		r.net.Count("router.drop.parse", 1)
@@ -343,6 +362,10 @@ func (r *Router) deliverLocal(payload []byte) {
 // lets TTL-limited ping-RR results be read at the source, §4.2).
 // Generation is subject to the router's ICMP error policer.
 func (r *Router) sendTimeExceeded(orig []byte, on *Iface) {
+	if f := r.faults; f != nil && f.suppress.active(r.net.Now()) {
+		r.net.CountID(cChaosSuppress, 1)
+		return
+	}
 	if r.errLimiter != nil && !r.errLimiter.Allow(r.net.Now()) {
 		r.net.Count("router.drop.errlimit", 1)
 		return

@@ -1,26 +1,52 @@
 package probe
 
 import (
+	"errors"
 	"net/netip"
 	"time"
 
 	"recordroute/internal/packet"
 )
 
-// Options controls batch pacing.
+// Options controls batch pacing, timeouts, and retransmission.
 type Options struct {
 	// Rate is the send rate in probes per second; 0 means DefaultRate.
 	Rate float64
 	// Timeout is how long to wait for each probe's response; 0 means
-	// DefaultTimeout.
+	// DefaultTimeout. With retries, each retransmission doubles the
+	// previous attempt's timeout (exponential backoff), and Timeout also
+	// caps the adaptive first-attempt timeout.
 	Timeout time.Duration
+	// Retries is how many times an unanswered probe is retransmitted
+	// after its attempt times out; 0 keeps the paper's single-shot
+	// probing. Each attempt draws a fresh sequence number, so a late
+	// reply to a superseded attempt still matches the probe — repeated
+	// probing recovers loss-induced false negatives.
+	Retries int
+	// Adaptive derives the first-attempt timeout from the prober's
+	// RTT EWMA (srtt + 4*rttvar, the TCP RTO estimator), clamped to
+	// [MinAdaptiveTimeout, Timeout]. Until a first RTT sample exists,
+	// the full Timeout applies.
+	Adaptive bool
 }
 
 // Default pacing values; 20 pps is the rate the paper's studies used.
 const (
 	DefaultRate    = 20.0
 	DefaultTimeout = 2 * time.Second
+	// MinAdaptiveTimeout floors the adaptive timeout so a streak of
+	// fast replies cannot shrink it into instant false timeouts.
+	MinAdaptiveTimeout = 100 * time.Millisecond
 )
+
+// MaxOutstanding caps concurrently pending probes. The 16-bit sequence
+// space is the hard limit for matching replies to probes; the margin
+// below it keeps allocSeq's linear scan for a free number cheap.
+const MaxOutstanding = 1<<16 - 1024
+
+// ErrTooManyOutstanding is the Result.Err of a probe refused because
+// MaxOutstanding probes were already awaiting responses.
+var ErrTooManyOutstanding = errors.New("probe: too many outstanding probes (sequence space exhausted)")
 
 func (o Options) rate() float64 {
 	if o.Rate <= 0 {
@@ -36,6 +62,13 @@ func (o Options) timeout() time.Duration {
 	return o.Timeout
 }
 
+func (o Options) attempts() int {
+	if o.Retries <= 0 {
+		return 1
+	}
+	return o.Retries + 1
+}
+
 // Prober sends probes over a Transport and matches responses. A Prober
 // is single-threaded: all callbacks arrive from the transport's event
 // context. Create one Prober per vantage point with a distinct id.
@@ -45,8 +78,12 @@ type Prober struct {
 	nextSeq uint16
 	pending map[uint16]*pendingProbe
 
+	// RTT EWMA state for adaptive timeouts (RFC 6298 estimator). Zero
+	// srtt means no sample yet.
+	srtt, rttvar time.Duration
+
 	// counters for diagnostics
-	sent, matched, timedOut, ignored uint64
+	sent, matched, timedOut, ignored, retransmits uint64
 
 	// scratch decode state
 	parsed packet.Parsed
@@ -55,11 +92,30 @@ type Prober struct {
 	ts     packet.Timestamp
 }
 
+// probeOp is one logical probe: up to maxAttempts transmissions, each
+// under its own sequence number, resolved exactly once. Superseded
+// attempts' pending entries stay registered until the op resolves, so a
+// reply outrun by a retransmission still matches; resolution removes
+// every attempt's entry, after which further replies count as ignored
+// duplicates.
+type probeOp struct {
+	spec        Spec
+	done        func(Result)
+	maxAttempts int
+	baseTimeout time.Duration
+	firstSentAt time.Duration
+	attempts    int
+	seqs        []uint16
+	resolved    bool
+	external    bool // Expect-registered: sent elsewhere, RTT unusable
+}
+
+// pendingProbe is one transmitted attempt awaiting a response.
 type pendingProbe struct {
-	spec   Spec
-	seq    uint16
-	sentAt time.Duration
-	done   func(Result)
+	op      *probeOp
+	seq     uint16
+	attempt int // 1-based
+	sentAt  time.Duration
 }
 
 // New returns a Prober for the transport using the given ICMP identifier.
@@ -80,8 +136,55 @@ func (p *Prober) Now() time.Duration { return p.tr.Now() }
 func (p *Prober) LocalAddr() netip.Addr { return p.tr.LocalAddr() }
 
 // Stats returns cumulative (sent, matched, timed out, ignored) counts.
+// sent counts transmissions (retransmissions included); timedOut counts
+// probes whose final attempt expired.
 func (p *Prober) Stats() (sent, matched, timedOut, ignored uint64) {
 	return p.sent, p.matched, p.timedOut, p.ignored
+}
+
+// Retransmits returns how many transmissions were retries.
+func (p *Prober) Retransmits() uint64 { return p.retransmits }
+
+// RTTEstimate returns the prober's smoothed RTT and RTT variance; both
+// are zero before the first matched response.
+func (p *Prober) RTTEstimate() (srtt, rttvar time.Duration) { return p.srtt, p.rttvar }
+
+// observeRTT folds a matched attempt's RTT into the EWMA (RFC 6298
+// constants). Samples are unambiguous even on retransmitted probes:
+// each attempt has its own sequence number, so the matched attempt is
+// known — Karn's problem does not arise.
+func (p *Prober) observeRTT(rtt time.Duration) {
+	if rtt < 0 {
+		return
+	}
+	if p.srtt == 0 {
+		p.srtt, p.rttvar = rtt, rtt/2
+		return
+	}
+	d := rtt - p.srtt
+	if d < 0 {
+		d = -d
+	}
+	p.rttvar += (d - p.rttvar) / 4
+	p.srtt += (rtt - p.srtt) / 8
+}
+
+// adaptiveTimeout returns the first-attempt timeout under opts: the
+// RTO estimate when adaptive and primed, the configured timeout
+// otherwise.
+func (p *Prober) adaptiveTimeout(o Options) time.Duration {
+	max := o.timeout()
+	if !o.Adaptive || p.srtt == 0 {
+		return max
+	}
+	rto := p.srtt + 4*p.rttvar
+	if rto < MinAdaptiveTimeout {
+		rto = MinAdaptiveTimeout
+	}
+	if rto > max {
+		rto = max
+	}
+	return rto
 }
 
 // Outstanding returns the number of probes awaiting response or timeout.
@@ -89,34 +192,92 @@ func (p *Prober) Outstanding() int { return len(p.pending) }
 
 // StartOne sends a single probe now and calls done exactly once, with a
 // response or a timeout result. Used directly by sequential measurements
-// (traceroute) that chain probes from callbacks.
+// (traceroute) that chain probes from callbacks. No retransmission: the
+// probe gets exactly one attempt.
 func (p *Prober) StartOne(spec Spec, timeout time.Duration, done func(Result)) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	seq := p.allocSeq()
-	wire, err := spec.build(p.tr.LocalAddr(), p.id, seq)
-	if err != nil {
-		// Malformed spec (e.g. non-IPv4 destination): report as an
-		// immediate timeout rather than panicking mid-study.
-		done(Result{Spec: spec, Seq: seq, SentAt: p.tr.Now(), Type: NoResponse})
+	p.start(spec, 1, timeout, done)
+}
+
+// start launches a probe op with the given retransmission budget and
+// first-attempt timeout.
+func (p *Prober) start(spec Spec, maxAttempts int, timeout time.Duration, done func(Result)) {
+	op := &probeOp{
+		spec:        spec,
+		done:        done,
+		maxAttempts: maxAttempts,
+		baseTimeout: timeout,
+		firstSentAt: p.tr.Now(),
+	}
+	p.sendAttempt(op)
+}
+
+// sendAttempt transmits the op's next attempt, or fails the op when no
+// sequence number is available or the spec cannot be serialized.
+func (p *Prober) sendAttempt(op *probeOp) {
+	seq, ok := p.allocSeq()
+	if !ok {
+		p.failOp(op, 0, ErrTooManyOutstanding)
 		return
 	}
-	pp := &pendingProbe{spec: spec, seq: seq, sentAt: p.tr.Now(), done: done}
+	wire, err := op.spec.build(p.tr.LocalAddr(), p.id, seq)
+	if err != nil {
+		// Malformed spec (e.g. non-IPv4 destination): fail explicitly
+		// rather than panicking mid-study.
+		p.failOp(op, seq, err)
+		return
+	}
+	op.attempts++
+	pp := &pendingProbe{op: op, seq: seq, attempt: op.attempts, sentAt: p.tr.Now()}
 	p.pending[seq] = pp
+	op.seqs = append(op.seqs, seq)
 	p.sent++
+	if op.attempts > 1 {
+		p.retransmits++
+	}
 	p.tr.Inject(wire)
-	p.tr.Schedule(timeout, func() {
-		if p.pending[seq] == pp {
-			delete(p.pending, seq)
-			p.timedOut++
-			done(Result{Spec: spec, Seq: seq, SentAt: pp.sentAt, Type: NoResponse})
-		}
-	})
+	// Exponential backoff: attempt k waits baseTimeout << (k-1).
+	p.tr.Schedule(op.baseTimeout<<(op.attempts-1), func() { p.attemptTimeout(pp) })
+}
+
+// attemptTimeout handles an attempt's timer expiring: retransmit while
+// budget remains, otherwise resolve the op as unanswered.
+func (p *Prober) attemptTimeout(pp *pendingProbe) {
+	op := pp.op
+	if op.resolved || pp.attempt < op.attempts {
+		return // already matched, or a superseded attempt's timer
+	}
+	if op.attempts < op.maxAttempts {
+		p.sendAttempt(op)
+		return
+	}
+	p.resolveOp(op)
+	p.timedOut++
+	op.done(Result{Spec: op.spec, Seq: pp.seq, SentAt: op.firstSentAt,
+		Type: NoResponse, Attempts: op.attempts})
+}
+
+// failOp resolves an op with a SendError result.
+func (p *Prober) failOp(op *probeOp, seq uint16, err error) {
+	p.resolveOp(op)
+	op.done(Result{Spec: op.spec, Seq: seq, SentAt: p.tr.Now(),
+		Type: SendError, Err: err, Attempts: op.attempts})
+}
+
+// resolveOp marks the op finished and retires every attempt's pending
+// entry; replies arriving afterwards count as ignored duplicates.
+func (p *Prober) resolveOp(op *probeOp) {
+	op.resolved = true
+	for _, s := range op.seqs {
+		delete(p.pending, s)
+	}
 }
 
 // StartBatch paces the probes out in order at opts.Rate and calls done
-// once with results in spec order after every probe has resolved.
+// once with results in spec order after every probe has resolved. This
+// is the path that honors opts.Retries and opts.Adaptive.
 func (p *Prober) StartBatch(specs []Spec, opts Options, done func([]Result)) {
 	if len(specs) == 0 {
 		p.tr.Schedule(0, func() { done(nil) })
@@ -128,7 +289,9 @@ func (p *Prober) StartBatch(specs []Spec, opts Options, done func([]Result)) {
 	for i, spec := range specs {
 		i, spec := i, spec
 		p.tr.Schedule(time.Duration(i)*interval, func() {
-			p.StartOne(spec, opts.timeout(), func(r Result) {
+			// The adaptive timeout is evaluated at send time, so the
+			// estimator warms up over the batch.
+			p.start(spec, opts.attempts(), p.adaptiveTimeout(opts), func(r Result) {
 				results[i] = r
 				remaining--
 				if remaining == 0 {
@@ -151,16 +314,24 @@ func (p *Prober) Expect(spec Spec, timeout time.Duration, done func(Result)) (id
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	seq = p.allocSeq()
-	pp := &pendingProbe{spec: spec, seq: seq, sentAt: p.tr.Now(), done: done}
+	var ok bool
+	if seq, ok = p.allocSeq(); !ok {
+		done(Result{Spec: spec, SentAt: p.tr.Now(), Type: SendError, Err: ErrTooManyOutstanding})
+		return p.id, 0
+	}
+	op := &probeOp{
+		spec:        spec,
+		done:        done,
+		maxAttempts: 1,
+		baseTimeout: timeout,
+		firstSentAt: p.tr.Now(),
+		attempts:    1,
+		seqs:        []uint16{seq},
+		external:    true,
+	}
+	pp := &pendingProbe{op: op, seq: seq, attempt: 1, sentAt: p.tr.Now()}
 	p.pending[seq] = pp
-	p.tr.Schedule(timeout, func() {
-		if p.pending[seq] == pp {
-			delete(p.pending, seq)
-			p.timedOut++
-			done(Result{Spec: spec, Seq: seq, SentAt: pp.sentAt, Type: NoResponse})
-		}
-	})
+	p.tr.Schedule(timeout, func() { p.attemptTimeout(pp) })
 	return p.id, seq
 }
 
@@ -178,13 +349,19 @@ func (p *Prober) SendSpoofed(spec Spec, spoofedSrc netip.Addr, id, seq uint16) e
 	return nil
 }
 
-// allocSeq returns the next free sequence number.
-func (p *Prober) allocSeq() uint16 {
+// allocSeq returns the next free sequence number. It refuses (ok=false)
+// once MaxOutstanding probes are pending: with the 16-bit space nearly
+// full the scan below would otherwise degenerate — and with it entirely
+// full, spin forever.
+func (p *Prober) allocSeq() (seq uint16, ok bool) {
+	if len(p.pending) >= MaxOutstanding {
+		return 0, false
+	}
 	for {
 		seq := p.nextSeq
 		p.nextSeq++
 		if _, busy := p.pending[seq]; !busy {
-			return seq
+			return seq, true
 		}
 	}
 }
@@ -219,7 +396,7 @@ func (p *Prober) matchEchoReply(at time.Duration) {
 		return
 	}
 	res := Result{
-		Spec:      pp.spec,
+		Spec:      pp.op.spec,
 		Seq:       pp.seq,
 		SentAt:    pp.sentAt,
 		RcvdAt:    at,
@@ -265,12 +442,12 @@ func (p *Prober) matchError(at time.Duration) {
 		return
 	}
 	pp := p.pending[seq]
-	if pp == nil || !quotedDstMatches(pp.spec, p.quoted.Dst) {
+	if pp == nil || !quotedDstMatches(pp.op.spec, p.quoted.Dst) {
 		p.ignored++
 		return
 	}
 	res := Result{
-		Spec:      pp.spec,
+		Spec:      pp.op.spec,
 		Seq:       pp.seq,
 		SentAt:    pp.sentAt,
 		RcvdAt:    at,
@@ -321,13 +498,19 @@ func (p *Prober) extractRR(hdr *packet.IPv4, res *Result, quoted bool) {
 	}
 }
 
-// complete finalizes a matched probe.
+// complete finalizes a matched probe op.
 func (p *Prober) complete(pp *pendingProbe, res Result) {
 	if p.pending[pp.seq] != pp {
-		p.ignored++ // duplicate response after timeout
+		p.ignored++ // duplicate response after the op already resolved
 		return
 	}
-	delete(p.pending, pp.seq)
+	op := pp.op
+	res.Attempts = op.attempts
+	res.MatchedAttempt = pp.attempt
+	p.resolveOp(op)
 	p.matched++
-	pp.done(res)
+	if !op.external {
+		p.observeRTT(res.RcvdAt - pp.sentAt)
+	}
+	op.done(res)
 }

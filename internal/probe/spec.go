@@ -193,6 +193,10 @@ const (
 	PortUnreachable
 	// OtherResponse is any other matched ICMP message.
 	OtherResponse
+	// SendError means the probe could not be transmitted at all — a
+	// malformed spec or an exhausted sequence space (Result.Err says
+	// which). Not a network response: Responded() is false.
+	SendError
 )
 
 // String names the response type.
@@ -208,6 +212,8 @@ func (r ResponseType) String() string {
 		return "port-unreachable"
 	case OtherResponse:
 		return "other"
+	case SendError:
+		return "send-error"
 	default:
 		return fmt.Sprintf("resp(%d)", int(r))
 	}
@@ -246,10 +252,19 @@ type Result struct {
 	// TSOverflow is the option's overflow counter: hops that could not
 	// register a timestamp.
 	TSOverflow uint8
+	// Attempts is how many times the probe was transmitted (1 plus the
+	// retransmissions used); 0 for a SendError before any transmission.
+	Attempts int
+	// MatchedAttempt is the 1-based attempt the response answered — a
+	// late reply to a superseded attempt still matches it — or 0 on
+	// timeout and send error.
+	MatchedAttempt int
+	// Err carries the failure for SendError results; nil otherwise.
+	Err error
 }
 
 // Responded reports whether any response was matched.
-func (r Result) Responded() bool { return r.Type != NoResponse }
+func (r Result) Responded() bool { return r.Type != NoResponse && r.Type != SendError }
 
 // RTT returns the probe round-trip time, or 0 on timeout.
 func (r Result) RTT() time.Duration {

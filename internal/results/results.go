@@ -169,7 +169,7 @@ func parseKind(s string) (probe.Kind, error) {
 func parseType(s string) (probe.ResponseType, error) {
 	for _, t := range []probe.ResponseType{
 		probe.NoResponse, probe.EchoReply, probe.TimeExceeded,
-		probe.PortUnreachable, probe.OtherResponse,
+		probe.PortUnreachable, probe.OtherResponse, probe.SendError,
 	} {
 		if t.String() == s {
 			return t, nil

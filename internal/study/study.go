@@ -37,6 +37,15 @@ type Options struct {
 	Timeout time.Duration
 	// ShuffleSeed drives per-VP destination-order randomization.
 	ShuffleSeed uint64
+	// Retries is the per-probe retransmission budget: each probe is
+	// retransmitted up to Retries times with exponential backoff before
+	// it is declared lost. 0 disables retries (the paper's single-shot
+	// probing).
+	Retries int
+	// Adaptive turns on RTT-adaptive per-attempt timeouts (RFC
+	// 6298-style EWMA, clamped to Timeout), so retransmissions fire as
+	// soon as the path's own RTT history says the attempt is lost.
+	Adaptive bool
 	// Shards selects the campaign executor for the experiments whose
 	// results are invariant under VP sharding (responsiveness,
 	// reachability, epoch comparison): 0 picks runtime.GOMAXPROCS
@@ -62,7 +71,7 @@ func (o Options) timeout() time.Duration {
 }
 
 func (o Options) probeOpts() probe.Options {
-	return probe.Options{Rate: o.rate(), Timeout: o.timeout()}
+	return probe.Options{Rate: o.rate(), Timeout: o.timeout(), Retries: o.Retries, Adaptive: o.Adaptive}
 }
 
 func (o Options) shards() int {

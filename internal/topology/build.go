@@ -45,7 +45,32 @@ func Build(cfg Config) (*Topology, error) {
 	t.buildDests(plans, rng)
 	t.buildVPs(plans, rng)
 	t.installOracle()
+	t.installFaults()
 	return t, nil
+}
+
+// installFaults compiles Cfg.Faults into per-interface and per-router
+// fault state. Registration follows build order — routers by (AS,
+// router) index with their interfaces in attachment order, then
+// destination prefixes in hitlist order — so every replica built from
+// the same Config draws the same afflicted subsets and window phases.
+func (t *Topology) installFaults() {
+	if t.Cfg.Faults == nil {
+		return
+	}
+	plan := netsim.NewFaultPlan(*t.Cfg.Faults)
+	for i := range t.Routers {
+		for _, r := range t.Routers[i] {
+			plan.AddRouter(r)
+			for _, ifc := range r.Interfaces() {
+				plan.AddLink(ifc)
+			}
+		}
+	}
+	for _, d := range t.Dests {
+		plan.AddWithdrawal(t.Routers[d.ASIdx][t.hostAttach[d.Addr]], d.Prefix)
+	}
+	t.Faults = plan.Install()
 }
 
 // MustBuild is Build for tests and examples with known-good configs.

@@ -1,6 +1,10 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+
+	"recordroute/internal/netsim"
+)
 
 // Epoch selects the interconnection era the generator models. The 2016
 // epoch is the paper's measurement; 2011 reproduces the sparser peering
@@ -89,6 +93,15 @@ type Config struct {
 	// a source-proximate options policer at their first-hop router.
 	MLabRateLimited    int
 	SourceRateLimitPPS float64
+
+	// Faults optionally installs a deterministic fault-injection plan
+	// over the built network (netsim.FaultConfig): link loss, jitter,
+	// duplication, flaps, router outages, ICMP suppression, transient
+	// route withdrawals. Every router, link, and destination prefix is
+	// registered in build order, so replicas built from the same Config
+	// get identical weather — faults are part of the seed. Nil injects
+	// nothing.
+	Faults *netsim.FaultConfig
 }
 
 // DefaultConfig returns the calibrated configuration for an epoch at

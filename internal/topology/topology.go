@@ -84,6 +84,9 @@ type Topology struct {
 	// per-cloud measurement hosts separately.
 	VPs      []*VP
 	CloudVPs []*VP
+	// Faults summarizes the installed fault plan (zero when Cfg.Faults
+	// is nil).
+	Faults netsim.FaultSummary
 
 	// routing oracle state
 	hostIface  map[netip.Addr]*netsim.Iface // router-side iface toward a host

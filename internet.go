@@ -30,7 +30,10 @@ func New(opts ...Option) (*Internet, error) {
 	if err := validateScale(o.scale); err != nil {
 		return nil, err
 	}
-	st, err := study.New(cfg, study.Options{Rate: o.rate, Timeout: o.timeout, Shards: o.shards})
+	st, err := study.New(cfg, study.Options{
+		Rate: o.rate, Timeout: o.timeout, Shards: o.shards,
+		Retries: o.retries, Adaptive: o.retries > 0,
+	})
 	if err != nil {
 		return nil, err
 	}
