@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-all race study fuzz examples clean
+.PHONY: all build test vet bench bench-metrics bench-all race study fuzz cover examples clean
 
 all: build test
 
@@ -24,6 +24,16 @@ bench:
 		-benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_parallel.json
 	cat BENCH_parallel.json
 
+# Like bench, but first captures a reference campaign's metrics
+# snapshot (rrstudy -metrics) and embeds it into BENCH_metrics.json, so
+# counter deltas archive next to the timings.
+bench-metrics:
+	$(GO) run ./cmd/rrstudy -scale 0.25 -seed 3 -experiment table1 -metrics BENCH_metrics_snapshot.json > /dev/null
+	$(GO) test -bench 'BenchmarkTable1ResponseRates|BenchmarkFigure1ClosestVPCDF|BenchmarkFigure1StudyShards|BenchmarkFigure2Epochs' \
+		-benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -metrics BENCH_metrics_snapshot.json > BENCH_metrics.json
+	rm -f BENCH_metrics_snapshot.json
+	cat BENCH_metrics.json
+
 # Every benchmark in the tree (per-figure plus ablations and hot paths).
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,11 +47,18 @@ race:
 study:
 	$(GO) run ./cmd/rrstudy
 
-# Short fuzzing passes over the packet decoders.
+# Short fuzzing passes over the packet decoders and the FIB.
 fuzz:
 	$(GO) test ./internal/packet -fuzz FuzzParsedDecode -fuzztime 30s
 	$(GO) test ./internal/packet -fuzz FuzzRecordRouteDecode -fuzztime 15s
 	$(GO) test ./internal/packet -fuzz FuzzTimestampDecode -fuzztime 15s
+	$(GO) test ./internal/packet -fuzz FuzzDecodeICMPQuoted -fuzztime 30s
+	$(GO) test ./internal/netsim -fuzz FuzzFIBLookup -fuzztime 30s
+
+# Coverage with per-package floors for the simulator core (matches CI).
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/netsim ./internal/probe ./internal/measure
+	$(GO) tool cover -func=cover.out | tail -1
 
 examples:
 	$(GO) run ./examples/quickstart

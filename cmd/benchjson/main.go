@@ -10,11 +10,16 @@
 // raw `go test` output directly:
 //
 //	go test -bench 'Figure1' -benchtime 1x . | go run ./cmd/benchjson
+//
+// With -metrics, a metrics snapshot previously written by
+// `rrstudy -metrics` is embedded into the record, so benchmark timings
+// and the campaign's counter deltas archive side by side.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -37,14 +42,31 @@ type Record struct {
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	NumCPU     int      `json:"numcpu"`
 	Results    []Result `json:"results"`
+	// Metrics embeds a campaign metrics snapshot (the parsed contents
+	// of an `rrstudy -metrics` file) when -metrics is given.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 func main() {
+	metricsPath := flag.String("metrics", "", "embed this rrstudy -metrics JSON file into the record")
+	flag.Parse()
 	rec := Record{
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+	}
+	if *metricsPath != "" {
+		raw, err := os.ReadFile(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *metricsPath)
+			os.Exit(1)
+		}
+		rec.Metrics = json.RawMessage(raw)
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)

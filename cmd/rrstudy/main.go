@@ -4,11 +4,18 @@
 // Usage:
 //
 //	rrstudy [-scale 1.0] [-seed N] [-rate PPS] [-experiment all]
+//	        [-shards K] [-metrics out.json] [-trace dst=IP] [-progress]
 //
 // Experiments: all, table1, fig1, fig2, audit, fig3, fig4, fig5, vpdist,
 // atlas, lsrr, chaos.
 // At -scale 1.0 (the default, ≈1/100 of the paper's probing volume) the
 // full run takes on the order of a minute.
+//
+// Observability: -metrics captures every engine's counters into a
+// per-shard snapshot with deterministic merged totals; -trace dst=<ip>
+// (or vp=<name>) records the matching probe lifecycles and router
+// events as JSON lines in -trace-out. Neither changes what a run
+// measures.
 package main
 
 import (
@@ -17,13 +24,39 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/netip"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"recordroute"
 	"recordroute/internal/results"
 )
+
+// parseTraceSpec parses "dst=<ip or prefix>" or "vp=<name>" into a
+// trace filter. A bare address means its /32.
+func parseTraceSpec(spec string) (recordroute.TraceFilter, error) {
+	key, val, ok := strings.Cut(spec, "=")
+	if !ok {
+		return recordroute.TraceFilter{}, fmt.Errorf("bad -trace %q: want dst=<ip> or vp=<name>", spec)
+	}
+	switch key {
+	case "dst":
+		if p, err := netip.ParsePrefix(val); err == nil {
+			return recordroute.TraceFilter{DstPrefix: p}, nil
+		}
+		a, err := netip.ParseAddr(val)
+		if err != nil {
+			return recordroute.TraceFilter{}, fmt.Errorf("bad -trace destination %q: %v", val, err)
+		}
+		return recordroute.TraceFilter{DstPrefix: netip.PrefixFrom(a, a.BitLen())}, nil
+	case "vp":
+		return recordroute.TraceFilter{VP: val}, nil
+	default:
+		return recordroute.TraceFilter{}, fmt.Errorf("bad -trace key %q: want dst or vp", key)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,6 +73,13 @@ func main() {
 		chaosLoss    = flag.Float64("chaos-loss", 0, "chaos: custom scenario per-direction loss probability on a quarter of links (0 = default sweep)")
 		chaosOutages = flag.Float64("chaos-outages", 0, "chaos: custom scenario fraction of routers suffering a transient outage")
 		chaosRetries = flag.Int("chaos-retries", 2, "chaos: recovery-arm retransmission budget")
+
+		shards     = flag.Int("shards", 0, "campaign shard count for sharding-invariant experiments (0 = GOMAXPROCS, 1 = single shared engine)")
+		metricsOut = flag.String("metrics", "", "write a metrics snapshot (per-shard counters + deterministic merge) to this JSON file")
+		traceSpec  = flag.String("trace", "", "attach an event trace: dst=<ip or prefix> follows probes to matching destinations, vp=<name> follows one VP's probe lifecycle")
+		traceOut   = flag.String("trace-out", "trace.jsonl", "file the -trace events are written to, as JSON lines")
+		perNode    = flag.Bool("metrics-per-node", false, "break the -metrics snapshot down by emitting router/host")
+		progress   = flag.Bool("progress", false, "print a live per-experiment progress line to stderr")
 	)
 	flag.Parse()
 
@@ -48,58 +88,91 @@ func main() {
 		recordroute.WithScale(*scale),
 		recordroute.WithSeed(*seed),
 		recordroute.WithProbeRate(*rate),
+		recordroute.WithShards(*shards),
 	)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var trace *recordroute.TraceHandle
+	if *traceSpec != "" {
+		filter, err := parseTraceSpec(*traceSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace = inet.AttachTrace(filter, 0)
+	}
+	if *perNode {
+		inet.EnablePerNodeMetrics()
+	}
+	// step wraps one experiment for the opt-in live progress line:
+	// "running <name>... done (1.2s)" on stderr, keeping stdout clean
+	// for the rendered tables.
+	step := func(name string, fn func() error) {
+		var t0 time.Time
+		if *progress {
+			t0 = time.Now()
+			fmt.Fprintf(os.Stderr, "# running %-8s ...", name)
+		}
+		if err := fn(); err != nil {
+			if *progress {
+				fmt.Fprintln(os.Stderr, " failed")
+			}
+			log.Fatal(err)
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, " done (%v)\n", time.Since(t0).Round(time.Millisecond))
+		}
 	}
 	fmt.Printf("# simulated Internet: %d ASes, %d destinations, %d VPs, %d clouds (built in %v)\n\n",
 		inet.NumASes(), len(inet.Destinations()), len(inet.VPNames()), len(inet.CloudNames()),
 		time.Since(start).Round(time.Millisecond))
 
 	w := os.Stdout
+	var chaosSum *recordroute.ChaosSummary
 	switch *experiment {
 	case "all":
-		var rep recordroute.Report
-		var err error
-		if *outdir != "" {
-			rep, err = runAllToDir(inet, w, *outdir)
-		} else {
-			rep, err = inet.RunAll(w)
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		if *jsonOut != "" {
-			err := writeFileAtomic(*jsonOut, func(f io.Writer) error {
-				enc := json.NewEncoder(f)
-				enc.SetIndent("", "  ")
-				return enc.Encode(rep)
-			})
-			if err != nil {
-				log.Fatal(err)
+		step("all", func() error {
+			var rep recordroute.Report
+			var err error
+			if *outdir != "" {
+				rep, err = runAllToDir(inet, w, *outdir)
+			} else {
+				rep, err = inet.RunAll(w)
 			}
-			fmt.Fprintf(os.Stderr, "# report written to %s\n", *jsonOut)
-		}
+			if err != nil {
+				return err
+			}
+			if *jsonOut != "" {
+				err := writeFileAtomic(*jsonOut, func(f io.Writer) error {
+					enc := json.NewEncoder(f)
+					enc.SetIndent("", "  ")
+					return enc.Encode(rep)
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "# report written to %s\n", *jsonOut)
+			}
+			return nil
+		})
 	case "table1":
-		inet.Table1(w)
+		step("table1", func() error { inet.Table1(w); return nil })
 	case "fig1":
-		inet.Figure1Reachability(w)
+		step("fig1", func() error { inet.Figure1Reachability(w); return nil })
 	case "fig2":
-		if _, err := inet.Figure2Epochs(w); err != nil {
-			log.Fatal(err)
-		}
+		step("fig2", func() error { _, err := inet.Figure2Epochs(w); return err })
 	case "audit":
-		inet.StampAudit(w, 0)
+		step("audit", func() error { inet.StampAudit(w, 0); return nil })
 	case "fig3":
-		inet.Figure3Clouds(w, 0)
+		step("fig3", func() error { inet.Figure3Clouds(w, 0); return nil })
 	case "fig4":
-		inet.Figure4RateLimit(w, 1000)
+		step("fig4", func() error { inet.Figure4RateLimit(w, 1000); return nil })
 	case "fig5":
-		inet.Figure5TTL(w, 0)
+		step("fig5", func() error { inet.Figure5TTL(w, 0); return nil })
 	case "atlas":
-		inet.TopologyAtlas(w, 0)
+		step("atlas", func() error { inet.TopologyAtlas(w, 0); return nil })
 	case "lsrr":
-		inet.SourceRouteCheck(w, 0)
+		step("lsrr", func() error { inet.SourceRouteCheck(w, 0); return nil })
 	case "chaos":
 		var scenarios []recordroute.ChaosScenario
 		if *chaosLoss > 0 || *chaosOutages > 0 {
@@ -111,14 +184,47 @@ func main() {
 				},
 			})
 		}
-		if _, err := inet.ChaosReport(w, *chaosRetries, scenarios...); err != nil {
-			log.Fatal(err)
-		}
+		step("chaos", func() error {
+			s, err := inet.ChaosReport(w, *chaosRetries, scenarios...)
+			chaosSum = &s
+			return err
+		})
 	case "vpdist":
-		d := inet.VPResponseDistribution()
-		fmt.Printf("RR-responsive destinations answering >2/3 of VPs: %.2f (paper: ~0.80)\n", d.AboveTwoThirds)
+		step("vpdist", func() error {
+			d := inet.VPResponseDistribution()
+			fmt.Printf("RR-responsive destinations answering >2/3 of VPs: %.2f (paper: ~0.80)\n", d.AboveTwoThirds)
+			return nil
+		})
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
+	}
+	if *metricsOut != "" {
+		err := writeFileAtomic(*metricsOut, func(f io.Writer) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			// The chaos sweep measures freshly built per-arm Internets,
+			// so its snapshots (captured inside each arm) are the
+			// meaningful ones; every other experiment probes through
+			// this Internet's own engines.
+			if chaosSum != nil {
+				return enc.Encode(chaosSum.Snapshots)
+			}
+			return enc.Encode(inet.Metrics("campaign"))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# metrics snapshot written to %s\n", *metricsOut)
+	}
+	if trace != nil {
+		err := writeFileAtomic(*traceOut, func(f io.Writer) error {
+			return trace.WriteJSONL(f)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# %d trace events written to %s (%d evicted)\n",
+			trace.Len(), *traceOut, trace.Dropped())
 	}
 	if *dump != "" {
 		err := writeFileAtomic(*dump, func(f io.Writer) error {

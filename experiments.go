@@ -356,6 +356,11 @@ type ChaosSummary struct {
 	// Retries is the recovery arm's retransmission budget.
 	Retries int
 	Levels  []ChaosLevelSummary
+	// Snapshots holds each arm's metrics capture, keyed "baseline",
+	// "<label>/single-shot", "<label>/retry". Arms rebuild their
+	// Internet from the same seeds, so snapshots reproduce with the
+	// sweep.
+	Snapshots map[string]*MetricsSnapshot `json:",omitempty"`
 }
 
 // ChaosReport runs the fault-injection experiment: each scenario (or
@@ -383,7 +388,8 @@ func (in *Internet) ChaosReport(w io.Writer, retries int, scenarios ...ChaosScen
 	if w != nil {
 		ch.Render(w)
 	}
-	s := ChaosSummary{BaselineReachable: ch.Baseline.RRReachable, Retries: ch.Retries}
+	s := ChaosSummary{BaselineReachable: ch.Baseline.RRReachable, Retries: ch.Retries,
+		Snapshots: ch.Snapshots}
 	for _, st := range ch.Steps {
 		s.Levels = append(s.Levels, ChaosLevelSummary{
 			Label:               st.Label,

@@ -4,6 +4,7 @@ import (
 	"net/netip"
 
 	"recordroute/internal/netsim"
+	"recordroute/internal/obs"
 	"recordroute/internal/probe"
 	"recordroute/internal/topology"
 )
@@ -41,6 +42,12 @@ type Fleet interface {
 	// primitives, in shard order; empty while every shard is healthy.
 	// See the partial-results contract above.
 	ShardErrors() []ShardError
+	// Observe attaches an observability configuration to every engine
+	// and prober the fleet owns; nil or inactive observers are no-ops.
+	Observe(o *obs.Observer)
+	// Metrics captures a labeled snapshot of the fleet's counters, one
+	// ShardMetrics per engine the fleet spans.
+	Metrics(label string) *obs.Snapshot
 }
 
 // Campaign fans measurements across many vantage points concurrently
@@ -49,6 +56,7 @@ type Fleet interface {
 // per-VP results come back keyed by VP name.
 type Campaign struct {
 	Eng *netsim.Engine
+	Net *netsim.Network
 	VPs []*VantagePoint
 
 	byName map[string]*VantagePoint
@@ -60,6 +68,7 @@ type Campaign struct {
 func NewCampaign(topo *topology.Topology, vps []*topology.VP) *Campaign {
 	c := &Campaign{
 		Eng:    topo.Net.Engine(),
+		Net:    topo.Net,
 		byName: make(map[string]*VantagePoint, len(vps)),
 	}
 	for i, v := range vps {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"recordroute/internal/netsim"
+	"recordroute/internal/obs"
 	"recordroute/internal/probe"
 	"recordroute/internal/topology"
 )
@@ -47,6 +48,8 @@ type ParallelCampaign struct {
 	replicas  []*replica
 	vpShard   map[string]int // VP name → replica index
 	vpNames   []string       // campaign order, as the sequential path sees it
+
+	observer *obs.Observer // applied to each replica at init; nil observes nothing
 }
 
 // Both executors satisfy the Fleet surface.
@@ -160,6 +163,9 @@ func (pc *ParallelCampaign) init() error {
 			rep.vps = append(rep.vps, NewVantagePoint(rv.Name, rv.Host, rep.eng, uint16(0x4000+i)))
 			pc.vpShard[v.Name] = shard
 			pc.vpNames = append(pc.vpNames, v.Name)
+		}
+		for _, rep := range pc.replicas {
+			pc.observeReplica(rep)
 		}
 	})
 	return pc.buildErr

@@ -12,7 +12,8 @@ var counterReg = struct {
 	sync.Mutex
 	ids   map[string]int
 	names []string
-}{ids: make(map[string]int)}
+	local map[string]bool
+}{ids: make(map[string]int), local: make(map[string]bool)}
 
 // CounterID interns a counter name, returning its stable ID. Call sites
 // on hot paths resolve their ID once (package init or construction) and
@@ -27,6 +28,28 @@ func CounterID(name string) int {
 	counterReg.ids[name] = id
 	counterReg.names = append(counterReg.names, name)
 	return id
+}
+
+// RegisterLocalCounter interns a counter name like CounterID but marks
+// it engine-local: its value depends on per-engine evaluation order
+// (cache maintenance, memoization hits, lazily observed fault windows)
+// rather than counting simulated events, so it is not shard-invariant
+// and must stay out of merged cross-shard totals. Observability
+// consumers filter on CounterIsLocal.
+func RegisterLocalCounter(name string) int {
+	id := CounterID(name)
+	counterReg.Lock()
+	counterReg.local[name] = true
+	counterReg.Unlock()
+	return id
+}
+
+// CounterIsLocal reports whether name was registered as an engine-local
+// diagnostic (see RegisterLocalCounter).
+func CounterIsLocal(name string) bool {
+	counterReg.Lock()
+	defer counterReg.Unlock()
+	return counterReg.local[name]
 }
 
 // counterName resolves an ID back to its name.
@@ -51,6 +74,54 @@ func counterSnapshot() []string {
 	return append([]string(nil), counterReg.names...)
 }
 
+// CounterMark is a checkpoint of the process-global counter registry,
+// taken with MarkCounters and restored with Reset. The registry only
+// ever grows (interning is how shard replicas of one topology share
+// call-site IDs), so long-lived processes that keep registering fresh
+// dynamic names — test suites churning through ad-hoc counters,
+// repeated topology rebuilds with generation-specific names — would
+// otherwise leak interned strings and drift IDs across tests.
+//
+// Reset truncates the registry back to the checkpoint: IDs below the
+// mark (including every pre-interned hot-path ID) keep their meaning,
+// names registered after the mark are forgotten, and the next CounterID
+// call reuses the freed ID range. Reset must only be called when no
+// live Network still counts under post-mark IDs — Networks hold plain
+// slices indexed by ID, so stale high IDs would silently alias onto
+// newly registered names. It is a scoping tool for tests and
+// long-running drivers, not something to call mid-campaign.
+type CounterMark int
+
+// MarkCounters checkpoints the current registry size.
+func MarkCounters() CounterMark {
+	counterReg.Lock()
+	defer counterReg.Unlock()
+	return CounterMark(len(counterReg.names))
+}
+
+// Reset restores the registry to the checkpoint, forgetting every name
+// interned after it. See CounterMark for the safety contract.
+func (m CounterMark) Reset() {
+	counterReg.Lock()
+	defer counterReg.Unlock()
+	if int(m) >= len(counterReg.names) {
+		return
+	}
+	for _, name := range counterReg.names[m:] {
+		delete(counterReg.ids, name)
+		delete(counterReg.local, name)
+	}
+	counterReg.names = counterReg.names[:m]
+}
+
+// NumCounters reports how many counter names are currently interned
+// (diagnostics; pairs with MarkCounters/Reset in leak tests).
+func NumCounters() int {
+	counterReg.Lock()
+	defer counterReg.Unlock()
+	return len(counterReg.names)
+}
+
 // Pre-interned IDs for the per-packet hot paths.
 var (
 	cLinkTx         = CounterID("link.tx")
@@ -62,4 +133,10 @@ var (
 	cHostInject     = CounterID("host.inject")
 	cHostEchoReply  = CounterID("host.echo.reply")
 	cHostUDPUnreach = CounterID("host.udp.unreach")
+
+	// Route-flip observations happen when a router's memoized route
+	// cache notices a withdrawal boundary during a lookup; how many a
+	// given engine notices depends on its own traffic, so the counter
+	// is engine-local (excluded from merged cross-shard totals).
+	cChaosRouteFlip = RegisterLocalCounter("chaos.route.flip")
 )

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCounterIDSharedAcrossNetworks pins the property the sharded
+// campaign executor depends on: replica simulators built in the same
+// process intern a counter name to the same ID, so their per-network
+// counter slices are index-compatible and merge by simple addition.
+func TestCounterIDSharedAcrossNetworks(t *testing.T) {
+	n1 := New()
+	n2 := New()
+	id1 := CounterID("test.shared.counter")
+	id2 := CounterID("test.shared.counter")
+	if id1 != id2 {
+		t.Fatalf("same name interned to different IDs: %d vs %d", id1, id2)
+	}
+	n1.CountID(id1, 3)
+	n2.CountID(id2, 4)
+	if n1.CounterMap()["test.shared.counter"] != 3 || n2.CounterMap()["test.shared.counter"] != 4 {
+		t.Fatalf("per-network counts wrong: n1=%v n2=%v", n1.CounterMap(), n2.CounterMap())
+	}
+}
+
+// TestCounterMarkReset checks the registry leak fix: names interned
+// after MarkCounters are released by Reset, and the freed ID range is
+// handed out again for fresh names.
+func TestCounterMarkReset(t *testing.T) {
+	mark := MarkCounters()
+	base := NumCounters()
+
+	ids := make([]int, 8)
+	for i := range ids {
+		ids[i] = CounterID(fmt.Sprintf("test.leak.%d", i))
+	}
+	if got := NumCounters(); got != base+len(ids) {
+		t.Fatalf("NumCounters = %d after interning %d names over %d", got, len(ids), base)
+	}
+	// Interning is idempotent while the names are live.
+	if again := CounterID("test.leak.0"); again != ids[0] {
+		t.Fatalf("re-intern changed ID: %d vs %d", again, ids[0])
+	}
+
+	mark.Reset()
+	if got := NumCounters(); got != base {
+		t.Fatalf("NumCounters = %d after Reset, want %d", got, base)
+	}
+	if _, ok := lookupCounterID("test.leak.0"); ok {
+		t.Fatal("released name still resolvable after Reset")
+	}
+
+	// The freed ID range is reused, so repeated register/Reset cycles
+	// (e.g. a test suite building thousands of topologies) cannot grow
+	// the registry without bound.
+	fresh := CounterID("test.leak.reused")
+	if fresh != ids[0] {
+		t.Errorf("freed ID not reused: got %d, want %d", fresh, ids[0])
+	}
+	mark.Reset()
+	if got := NumCounters(); got != base {
+		t.Fatalf("NumCounters = %d after second Reset, want %d", got, base)
+	}
+}
+
+// TestLocalCounterRegistration: engine-local marking survives re-intern
+// and is cleared by Reset so a reused ID cannot inherit it.
+func TestLocalCounterRegistration(t *testing.T) {
+	mark := MarkCounters()
+	id := RegisterLocalCounter("test.local.diag")
+	if !CounterIsLocal("test.local.diag") {
+		t.Fatal("freshly registered local counter not reported local")
+	}
+	if CounterID("test.local.diag") != id {
+		t.Fatal("RegisterLocalCounter and CounterID disagree on ID")
+	}
+	mark.Reset()
+	if CounterIsLocal("test.local.diag") {
+		t.Fatal("local flag survived Reset")
+	}
+	// Re-registering the name plainly must not resurrect the flag.
+	if CounterID("test.local.diag"); CounterIsLocal("test.local.diag") {
+		t.Fatal("plain CounterID re-intern marked the name local")
+	}
+	mark.Reset()
+}
+
+// TestCounterMarkResetPreservesHotIDs: Reset must never disturb the
+// pre-interned hot-path IDs the router/host fast paths cache at
+// package init.
+func TestCounterMarkResetPreservesHotIDs(t *testing.T) {
+	mark := MarkCounters()
+	CounterID("test.transient")
+	mark.Reset()
+	for _, tc := range []struct {
+		id   int
+		name string
+	}{
+		{cRouterFwd, "router.fwd"},
+		{cRouterSlowpath, "router.slowpath"},
+		{cRouterStamped, "router.rr.stamped"},
+		{cHostEchoReply, "host.echo.reply"},
+		{cLinkTx, "link.tx"},
+	} {
+		if got, ok := lookupCounterID(tc.name); !ok || got != tc.id {
+			t.Errorf("%s resolves to (%d,%v), want cached ID %d", tc.name, got, ok, tc.id)
+		}
+		if counterName(tc.id) != tc.name {
+			t.Errorf("counterName(%d) = %q, want %q", tc.id, counterName(tc.id), tc.name)
+		}
+	}
+}

@@ -127,14 +127,32 @@ func (h *Host) nextID() uint16 {
 	return h.ipid
 }
 
+// count bumps a network counter and, when per-node attribution is
+// enabled, charges it to this host.
+func (h *Host) count(id int) {
+	h.net.CountID(id, 1)
+	if h.net.nodeCounts != nil {
+		h.net.countNode(h.name, id, 1)
+	}
+}
+
+// countName is count for cold paths that never pre-interned an ID.
+func (h *Host) countName(name string) { h.count(CounterID(name)) }
+
+// trace emits a packet event for the datagram currently decoded in
+// h.ip; callers guard on h.net.tracer != nil.
+func (h *Host) trace(event string) {
+	h.net.tracer(h.net.Now(), h.name, event, h.ip.Src, h.ip.Dst)
+}
+
 // Inject transmits a raw, already-serialized IPv4 datagram out the
 // uplink, exactly as a raw-socket prober would.
 func (h *Host) Inject(pkt []byte) {
 	if h.uplink == nil {
-		h.net.Count("host.drop.unconnected", 1)
+		h.countName("host.drop.unconnected")
 		return
 	}
-	h.net.CountID(cHostInject, 1)
+	h.count(cHostInject)
 	h.uplink.Send(pkt)
 }
 
@@ -142,11 +160,11 @@ func (h *Host) Inject(pkt []byte) {
 func (h *Host) Receive(pkt []byte, on *Iface) {
 	payload, err := h.ip.Decode(pkt)
 	if err != nil {
-		h.net.Count("host.drop.parse", 1)
+		h.countName("host.drop.parse")
 		return
 	}
 	if !h.local[h.ip.Dst] {
-		h.net.Count("host.drop.misdelivered", 1)
+		h.countName("host.drop.misdelivered")
 		return
 	}
 	if h.sniffer != nil {
@@ -154,13 +172,16 @@ func (h *Host) Receive(pkt []byte, on *Iface) {
 	}
 	hasOpts := len(h.ip.Options) > 0
 	if hasOpts && !h.behavior.RRResponsive {
-		h.net.Count("host.drop.options", 1)
+		h.countName("host.drop.options")
+		if h.net.tracer != nil {
+			h.trace("host.drop.options")
+		}
 		return
 	}
 	// Hosts never forward: a source route with hops left is undeliverable.
 	var sr packet.SourceRoute
 	if found, err := h.ip.SourceRouteOption(&sr); found && (err != nil || !sr.Exhausted()) {
-		h.net.Count("host.drop.sourceroute", 1)
+		h.countName("host.drop.sourceroute")
 		return
 	}
 	switch h.ip.Protocol {
@@ -169,7 +190,7 @@ func (h *Host) Receive(pkt []byte, on *Iface) {
 	case packet.ProtocolUDP:
 		h.receiveUDP(pkt, payload)
 	default:
-		h.net.Count("host.drop.proto", 1)
+		h.countName("host.drop.proto")
 	}
 }
 
@@ -177,14 +198,17 @@ func (h *Host) Receive(pkt []byte, on *Iface) {
 func (h *Host) receiveICMP(payload []byte) {
 	var icmp packet.ICMP
 	if icmp.Decode(payload) != nil {
-		h.net.Count("host.drop.icmpparse", 1)
+		h.countName("host.drop.icmpparse")
 		return
 	}
 	if icmp.Type != packet.ICMPEchoRequest {
 		return
 	}
 	if !h.behavior.PingResponsive {
-		h.net.Count("host.drop.unresponsive", 1)
+		h.countName("host.drop.unresponsive")
+		if h.net.tracer != nil {
+			h.trace("host.drop.unresponsive")
+		}
 		return
 	}
 	reply := icmp.EchoReply()
@@ -205,7 +229,7 @@ func (h *Host) receiveICMP(payload []byte) {
 			cp.Record(stamp) // no-op when already full
 		}
 		if err := hdr.SetRecordRoute(cp); err != nil {
-			h.net.Count("host.drop.rrencode", 1)
+			h.countName("host.drop.rrencode")
 			return
 		}
 	}
@@ -219,11 +243,14 @@ func (h *Host) receiveICMP(payload []byte) {
 			h.ts.Record(stamp, uint32(h.net.Now().Milliseconds()))
 		}
 		if err := hdr.SetTimestamp(&h.ts); err != nil {
-			h.net.Count("host.drop.tsencode", 1)
+			h.countName("host.drop.tsencode")
 			return
 		}
 	}
-	h.net.CountID(cHostEchoReply, 1)
+	h.count(cHostEchoReply)
+	if h.net.tracer != nil {
+		h.trace("host.echo.reply")
+	}
 	h.send(&hdr, reply.Marshal())
 }
 
@@ -234,11 +261,14 @@ func (h *Host) receiveICMP(payload []byte) {
 func (h *Host) receiveUDP(raw, payload []byte) {
 	var udp packet.UDP
 	if udp.Decode(payload, h.ip.Src, h.ip.Dst) != nil {
-		h.net.Count("host.drop.udpparse", 1)
+		h.countName("host.drop.udpparse")
 		return
 	}
 	if !h.behavior.UDPResponsive {
-		h.net.Count("host.drop.udpsilent", 1)
+		h.countName("host.drop.udpsilent")
+		if h.net.tracer != nil {
+			h.trace("host.drop.udpsilent")
+		}
 		return
 	}
 	hdrLen := int(raw[0]&0xf) * 4
@@ -250,19 +280,22 @@ func (h *Host) receiveUDP(raw, payload []byte) {
 		Src:      h.ip.Dst,
 		Dst:      h.ip.Src,
 	}
-	h.net.CountID(cHostUDPUnreach, 1)
+	h.count(cHostUDPUnreach)
+	if h.net.tracer != nil {
+		h.trace("host.udp.unreach")
+	}
 	h.send(&hdr, e.Marshal())
 }
 
 // send serializes and transmits a host-originated packet via the uplink.
 func (h *Host) send(hdr *packet.IPv4, transport []byte) {
 	if h.uplink == nil {
-		h.net.Count("host.drop.unconnected", 1)
+		h.countName("host.drop.unconnected")
 		return
 	}
 	out, err := hdr.AppendTo(h.net.getBuf(), transport)
 	if err != nil {
-		h.net.Count("host.drop.encode", 1)
+		h.countName("host.drop.encode")
 		return
 	}
 	h.uplink.Send(out)

@@ -101,6 +101,11 @@ type Network struct {
 	lossRNG  uint64   // xorshift state for deterministic loss draws
 	hook     func(at time.Duration, counter string)
 	bufs     [][]byte // free list of serialization buffers
+
+	// Observability hooks (see obs.go); both nil/off by default so the
+	// per-packet paths pay only a nil check.
+	tracer     TraceFunc
+	nodeCounts map[string][]uint64 // node name → counters by ID
 }
 
 // getBuf returns an empty buffer for packet serialization, reusing a

@@ -106,6 +106,25 @@ func (n *Network) AddRouter(name string, behavior RouterBehavior) *Router {
 // Name returns the router's name.
 func (r *Router) Name() string { return r.name }
 
+// count bumps a network counter and, when per-node attribution is
+// enabled, charges it to this router. The extra branch is the whole
+// cost of disabled observability.
+func (r *Router) count(id int) {
+	r.net.CountID(id, 1)
+	if r.net.nodeCounts != nil {
+		r.net.countNode(r.name, id, 1)
+	}
+}
+
+// countName is count for cold paths that never pre-interned an ID.
+func (r *Router) countName(name string) { r.count(CounterID(name)) }
+
+// trace emits a packet event for the datagram currently decoded in
+// r.ip; callers guard on r.net.tracer != nil.
+func (r *Router) trace(event string) {
+	r.net.tracer(r.net.Now(), r.name, event, r.ip.Src, r.ip.Dst)
+}
+
 // Behavior returns the router's configured behavior.
 func (r *Router) Behavior() RouterBehavior { return r.behavior }
 
@@ -143,7 +162,7 @@ func (r *Router) lookupRoute(dst netip.Addr) *Iface {
 		if n := f.withdraw.flips(r.net.Now()); n != f.wFlips {
 			f.wFlips = n
 			r.invalidateRoutes()
-			r.net.Count("chaos.route.flip", 1)
+			r.count(cChaosRouteFlip)
 		}
 	}
 	if via, ok := r.routeCache[dst]; ok {
@@ -193,12 +212,16 @@ func (r *Router) nextID() uint16 {
 // Receive implements Node. It is the router's forwarding path.
 func (r *Router) Receive(pkt []byte, on *Iface) {
 	if f := r.faults; f != nil && f.offline.active(r.net.Now()) {
-		r.net.CountID(cChaosOffline, 1)
+		r.count(cChaosOffline)
+		if r.net.tracer != nil {
+			// The header is not decoded yet; the event carries no addresses.
+			r.net.tracer(r.net.Now(), r.name, "chaos.router.offline", netip.Addr{}, netip.Addr{})
+		}
 		return
 	}
 	payload, err := r.ip.Decode(pkt)
 	if err != nil {
-		r.net.Count("router.drop.parse", 1)
+		r.countName("router.drop.parse")
 		return
 	}
 	hasOpts := len(r.ip.Options) > 0
@@ -207,14 +230,23 @@ func (r *Router) Receive(pkt []byte, on *Iface) {
 	// happen before any other processing, including local delivery.
 	if hasOpts {
 		if r.behavior.DropOptions {
-			r.net.Count("router.drop.filter", 1)
+			r.countName("router.drop.filter")
+			if r.net.tracer != nil {
+				r.trace("router.drop.filter")
+			}
 			return
 		}
 		if r.limiter != nil && !r.limiter.Allow(r.net.Now()) {
-			r.net.Count("router.drop.ratelimit", 1)
+			r.countName("router.drop.ratelimit")
+			if r.net.tracer != nil {
+				r.trace("router.drop.ratelimit")
+			}
 			return
 		}
-		r.net.CountID(cRouterSlowpath, 1)
+		r.count(cRouterSlowpath)
+		if r.net.tracer != nil {
+			r.trace("router.slowpath")
+		}
 	}
 
 	if r.ownsAddr(r.ip.Dst) {
@@ -232,9 +264,12 @@ func (r *Router) Receive(pkt []byte, on *Iface) {
 			if !r.behavior.NoTimeExceeded {
 				r.sendTimeExceeded(pkt, on)
 			} else {
-				r.net.Count("router.drop.ttl.silent", 1)
+				r.countName("router.drop.ttl.silent")
 			}
-			r.net.Count("router.ttl.expired", 1)
+			r.countName("router.ttl.expired")
+			if r.net.tracer != nil {
+				r.trace("router.ttl.expired")
+			}
 			return
 		}
 		r.ip.TTL--
@@ -242,7 +277,10 @@ func (r *Router) Receive(pkt []byte, on *Iface) {
 
 	egress := r.lookupRoute(r.ip.Dst)
 	if egress == nil {
-		r.net.Count("router.drop.noroute", 1)
+		r.countName("router.drop.noroute")
+		if r.net.tracer != nil {
+			r.trace("router.drop.noroute")
+		}
 		return
 	}
 
@@ -253,29 +291,35 @@ func (r *Router) Receive(pkt []byte, on *Iface) {
 		if found, err := r.ip.RecordRouteOption(&r.rr); found && err == nil && !r.rr.Full() {
 			r.rr.Record(egress.Addr)
 			if err := r.ip.SetRecordRoute(&r.rr); err != nil {
-				r.net.Count("router.drop.rrencode", 1)
+				r.countName("router.drop.rrencode")
 				return
 			}
-			r.net.CountID(cRouterStamped, 1)
+			r.count(cRouterStamped)
+			if r.net.tracer != nil {
+				r.trace("router.rr.stamped")
+			}
 		}
 		// The Internet Timestamp option is processed on the same slow
 		// path; a full option increments its overflow counter.
 		if found, err := r.ip.TimestampOption(&r.ts); found && err == nil {
 			r.ts.Record(egress.Addr, uint32(r.net.Now().Milliseconds()))
 			if err := r.ip.SetTimestamp(&r.ts); err != nil {
-				r.net.Count("router.drop.tsencode", 1)
+				r.countName("router.drop.tsencode")
 				return
 			}
-			r.net.CountID(cRouterTS, 1)
+			r.count(cRouterTS)
+			if r.net.tracer != nil {
+				r.trace("router.ts.stamped")
+			}
 		}
 	}
 
 	out, err := r.ip.AppendTo(r.net.getBuf(), payload)
 	if err != nil {
-		r.net.Count("router.drop.encode", 1)
+		r.countName("router.drop.encode")
 		return
 	}
-	r.net.CountID(cRouterFwd, 1)
+	r.count(cRouterFwd)
 	if hasOpts && r.behavior.SlowPathDelay > 0 {
 		r.net.engine.Schedule(r.behavior.SlowPathDelay, func() { egress.Send(out) })
 		return
@@ -290,23 +334,23 @@ func (r *Router) Receive(pkt []byte, on *Iface) {
 // the near-universal stance on today's Internet.
 func (r *Router) forwardSourceRouted(payload []byte) {
 	if !r.behavior.AllowSourceRoute {
-		r.net.Count("router.drop.sourceroute", 1)
+		r.countName("router.drop.sourceroute")
 		return
 	}
 	next := r.sr.NextHop()
 	egress := r.lookupRoute(next)
 	if egress == nil {
-		r.net.Count("router.drop.noroute", 1)
+		r.countName("router.drop.noroute")
 		return
 	}
 	newDst, ok := r.sr.Advance(egress.Addr)
 	if !ok {
-		r.net.Count("router.drop.sourceroute", 1)
+		r.countName("router.drop.sourceroute")
 		return
 	}
 	r.ip.Dst = newDst
 	if err := r.ip.SetSourceRoute(&r.sr); err != nil {
-		r.net.Count("router.drop.encode", 1)
+		r.countName("router.drop.encode")
 		return
 	}
 	if !r.behavior.NoTTLDecrement && r.ip.TTL > 1 {
@@ -314,10 +358,10 @@ func (r *Router) forwardSourceRouted(payload []byte) {
 	}
 	out, err := r.ip.AppendTo(r.net.getBuf(), payload)
 	if err != nil {
-		r.net.Count("router.drop.encode", 1)
+		r.countName("router.drop.encode")
 		return
 	}
-	r.net.Count("router.fwd.sourceroute", 1)
+	r.countName("router.fwd.sourceroute")
 	egress.Send(out)
 }
 
@@ -328,11 +372,11 @@ func (r *Router) forwardSourceRouted(payload []byte) {
 func (r *Router) deliverLocal(payload []byte) {
 	var icmp packet.ICMP
 	if r.ip.Protocol != packet.ProtocolICMP || icmp.Decode(payload) != nil {
-		r.net.Count("router.local.ignored", 1)
+		r.countName("router.local.ignored")
 		return
 	}
 	if icmp.Type != packet.ICMPEchoRequest {
-		r.net.Count("router.local.ignored", 1)
+		r.countName("router.local.ignored")
 		return
 	}
 	reply := icmp.EchoReply()
@@ -354,6 +398,9 @@ func (r *Router) deliverLocal(payload []byte) {
 			return
 		}
 	}
+	if r.net.tracer != nil {
+		r.trace("router.echo.reply")
+	}
 	r.sendLocal(&hdr, reply.Marshal())
 }
 
@@ -363,11 +410,17 @@ func (r *Router) deliverLocal(payload []byte) {
 // Generation is subject to the router's ICMP error policer.
 func (r *Router) sendTimeExceeded(orig []byte, on *Iface) {
 	if f := r.faults; f != nil && f.suppress.active(r.net.Now()) {
-		r.net.CountID(cChaosSuppress, 1)
+		r.count(cChaosSuppress)
+		if r.net.tracer != nil {
+			r.trace("chaos.icmp.suppressed")
+		}
 		return
 	}
 	if r.errLimiter != nil && !r.errLimiter.Allow(r.net.Now()) {
-		r.net.Count("router.drop.errlimit", 1)
+		r.countName("router.drop.errlimit")
+		if r.net.tracer != nil {
+			r.trace("router.drop.errlimit")
+		}
 		return
 	}
 	hdrLen := int(orig[0]&0xf) * 4
@@ -383,7 +436,10 @@ func (r *Router) sendTimeExceeded(orig []byte, on *Iface) {
 		Src:      on.Addr, // errors originate from the receiving interface
 		Dst:      src,
 	}
-	r.net.Count("router.icmp.timeexceeded", 1)
+	r.countName("router.icmp.timeexceeded")
+	if r.net.tracer != nil {
+		r.trace("router.icmp.timeexceeded")
+	}
 	r.sendLocal(&hdr, e.Marshal())
 }
 
@@ -391,12 +447,12 @@ func (r *Router) sendTimeExceeded(orig []byte, on *Iface) {
 func (r *Router) sendLocal(hdr *packet.IPv4, transport []byte) {
 	egress := r.lookupRoute(hdr.Dst)
 	if egress == nil {
-		r.net.Count("router.drop.noroute.local", 1)
+		r.countName("router.drop.noroute.local")
 		return
 	}
 	out, err := hdr.AppendTo(r.net.getBuf(), transport)
 	if err != nil {
-		r.net.Count("router.drop.encode", 1)
+		r.countName("router.drop.encode")
 		return
 	}
 	egress.Send(out)

@@ -94,7 +94,7 @@ func buildChain(n int, behavior func(i int) RouterBehavior, hb HostBehavior) *ch
 
 // makePingRR builds a serialized echo request, with an RR option when
 // slots > 0.
-func makePingRR(t *testing.T, src, dst netip.Addr, id, seq uint16, ttl uint8, slots int) []byte {
+func makePingRR(t testing.TB, src, dst netip.Addr, id, seq uint16, ttl uint8, slots int) []byte {
 	t.Helper()
 	hdr := packet.IPv4{TTL: ttl, ID: id, Protocol: packet.ProtocolICMP, Src: src, Dst: dst}
 	if slots > 0 {

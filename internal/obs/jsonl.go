@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// WriteJSONL serializes the trace's retained events to w, one JSON
+// object per line, in arrival order. A trailing summary line reports
+// how many events the ring evicted when any were.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		if err := enc.Encode(struct {
+			Dropped uint64 `json:"dropped"`
+		}{d}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

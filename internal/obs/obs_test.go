@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"recordroute/internal/netsim"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func ev(i int) Event {
+	return Event{
+		At:    time.Duration(i) * time.Millisecond,
+		Node:  "r0",
+		Event: "router.fwd",
+		Src:   addr("10.0.0.1"),
+		Dst:   addr(fmt.Sprintf("10.1.0.%d", i%250+1)),
+	}
+}
+
+func TestTraceRingWrap(t *testing.T) {
+	tr := NewTrace(4, Filter{})
+	for i := 0; i < 10; i++ {
+		tr.Add(ev(i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	got := tr.Events()
+	for i, e := range got {
+		if want := ev(6 + i); e != want {
+			t.Errorf("event %d = %+v, want %+v (newest 4 in arrival order)", i, e, want)
+		}
+	}
+}
+
+func TestTraceNoWrap(t *testing.T) {
+	tr := NewTrace(8, Filter{})
+	for i := 0; i < 3; i++ {
+		tr.Add(ev(i))
+	}
+	if tr.Len() != 3 || tr.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 3 and 0", tr.Len(), tr.Dropped())
+	}
+	got := tr.Events()
+	for i := range got {
+		if got[i] != ev(i) {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], ev(i))
+		}
+	}
+}
+
+func TestTraceDefaultCapacity(t *testing.T) {
+	tr := NewTrace(0, Filter{})
+	if cap(tr.ring) != DefaultTraceCap {
+		t.Fatalf("capacity = %d, want DefaultTraceCap %d", cap(tr.ring), DefaultTraceCap)
+	}
+}
+
+func TestFilterDstPrefix(t *testing.T) {
+	pfx := netip.MustParsePrefix("10.1.0.0/24")
+	tr := NewTrace(16, Filter{DstPrefix: pfx})
+
+	in := Event{At: 1, Event: "router.fwd", Src: addr("10.0.0.1"), Dst: addr("10.1.0.9")}
+	// A reply: the probed address is now the source.
+	reply := Event{At: 2, Event: "router.fwd", Src: addr("10.1.0.9"), Dst: addr("10.0.0.1")}
+	out := Event{At: 3, Event: "router.fwd", Src: addr("10.0.0.1"), Dst: addr("10.2.0.9")}
+	// Pre-decode drop: no addresses known.
+	blank := Event{At: 4, Event: "chaos.router.offline"}
+
+	for _, e := range []Event{in, reply, out, blank} {
+		tr.Add(e)
+	}
+	got := tr.Events()
+	if len(got) != 2 || got[0] != in || got[1] != reply {
+		t.Fatalf("kept %+v, want the forward and reply events only", got)
+	}
+}
+
+func TestFilterVP(t *testing.T) {
+	tr := NewTrace(16, Filter{VP: "vp1"})
+	mine := Event{At: 1, VP: "vp1", Event: "probe.send", Dst: addr("10.1.0.9"), Seq: 1, Try: 1}
+	other := Event{At: 2, VP: "vp2", Event: "probe.send", Dst: addr("10.1.0.9"), Seq: 1, Try: 1}
+	node := Event{At: 3, Node: "r0", Event: "router.slowpath", Src: addr("10.0.0.1"), Dst: addr("10.1.0.9")}
+
+	for _, e := range []Event{mine, other, node} {
+		tr.Add(e)
+	}
+	got := tr.Events()
+	if len(got) != 2 || got[0] != mine || got[1] != node {
+		t.Fatalf("kept %+v, want vp1's probe event and the node event", got)
+	}
+}
+
+func TestTraceConcurrentAdd(t *testing.T) {
+	tr := NewTrace(128, Filter{})
+	var wg sync.WaitGroup
+	const writers, per = 8, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Add(ev(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != writers*per {
+		t.Fatalf("retained+dropped = %d, want %d", got, writers*per)
+	}
+	if tr.Len() != 128 {
+		t.Fatalf("Len = %d, want full ring 128", tr.Len())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTrace(2, Filter{})
+	for i := 0; i < 3; i++ {
+		tr.Add(ev(i))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 2 events + dropped summary:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"event":"router.fwd"`) || !strings.Contains(lines[0], `"at_ns":1000000`) {
+		t.Errorf("first line = %s", lines[0])
+	}
+	if lines[2] != `{"dropped":1}` {
+		t.Errorf("summary line = %s, want {\"dropped\":1}", lines[2])
+	}
+
+	// Same events → byte-identical serialization.
+	var buf2 bytes.Buffer
+	if err := tr.WriteJSONL(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("WriteJSONL not deterministic for identical trace state")
+	}
+}
+
+func TestSnapshotMergeAndDeterminism(t *testing.T) {
+	s1 := ShardMetrics{Shard: "shard0", Counters: Counters{"router.fwd": 10, "link.tx": 4}}
+	s2 := ShardMetrics{Shard: "shard1", Counters: Counters{"router.fwd": 5, "host.echo.reply": 2}}
+	snap := NewSnapshot("campaign", s1, s2)
+
+	want := Counters{"router.fwd": 15, "link.tx": 4, "host.echo.reply": 2}
+	if !reflect.DeepEqual(snap.Merged, want) {
+		t.Fatalf("Merged = %v, want %v", snap.Merged, want)
+	}
+	if names := snap.CounterNames(); !reflect.DeepEqual(names, []string{"host.echo.reply", "link.tx", "router.fwd"}) {
+		t.Fatalf("CounterNames = %v", names)
+	}
+
+	// Equal snapshots marshal byte-identically (map keys sorted by
+	// encoding/json) — the property the K=1 vs K=4 acceptance check
+	// relies on.
+	b1, err := snap.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := NewSnapshot("campaign", s1, s2)
+	b2, err := again.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("equal snapshots serialized differently")
+	}
+}
+
+// TestSnapshotMergeExcludesLocalCounters: engine-local diagnostics
+// (cache/memoization observations, not simulated events) stay visible
+// per shard but never enter the merged totals — they are the one class
+// of counter that cannot be shard-invariant.
+func TestSnapshotMergeExcludesLocalCounters(t *testing.T) {
+	mark := netsim.MarkCounters()
+	defer mark.Reset()
+	netsim.RegisterLocalCounter("test.obs.local")
+
+	s1 := ShardMetrics{Shard: "shard0", Counters: Counters{"router.fwd": 10, "test.obs.local": 3}}
+	s2 := ShardMetrics{Shard: "shard1", Counters: Counters{"router.fwd": 5, "test.obs.local": 9}}
+	snap := NewSnapshot("campaign", s1, s2)
+	if _, ok := snap.Merged["test.obs.local"]; ok {
+		t.Fatalf("engine-local counter leaked into Merged: %v", snap.Merged)
+	}
+	if snap.Merged["router.fwd"] != 15 {
+		t.Fatalf("Merged = %v", snap.Merged)
+	}
+	if snap.Shards[0].Counters["test.obs.local"] != 3 {
+		t.Fatal("local counter lost from per-shard section")
+	}
+	// The pre-registered route-flip diagnostic is local.
+	if !netsim.CounterIsLocal("chaos.route.flip") {
+		t.Fatal("chaos.route.flip not registered engine-local")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	before := Counters{"router.fwd": 10, "link.tx": 4}
+	after := Counters{"router.fwd": 12, "link.tx": 4, "host.echo.reply": 1}
+	got := Delta(before, after)
+	want := Counters{"router.fwd": 2, "host.echo.reply": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Delta = %v, want %v", got, want)
+	}
+}
+
+func TestCaptureReadsNetwork(t *testing.T) {
+	n := netsim.New()
+	n.CountID(netsim.CounterID("test.obs.capture"), 7)
+	m := Capture("shard0", n)
+	if m.Shard != "shard0" || m.Counters["test.obs.capture"] != 7 {
+		t.Fatalf("Capture = %+v", m)
+	}
+	if m.Nodes != nil {
+		t.Fatal("Nodes populated without per-node attribution")
+	}
+}
+
+func TestTracerAdapters(t *testing.T) {
+	tr := NewTrace(16, Filter{})
+	tr.NetworkTracer()(5*time.Microsecond, "r1", "router.slowpath", addr("10.0.0.1"), addr("10.1.0.9"))
+	tr.ProberTracer("vp0")(7*time.Microsecond, "probe.send", addr("10.1.0.9"), 42, 1)
+
+	got := tr.Events()
+	if len(got) != 2 {
+		t.Fatalf("got %d events", len(got))
+	}
+	if got[0].Node != "r1" || got[0].Event != "router.slowpath" || got[0].VP != "" {
+		t.Errorf("network event = %+v", got[0])
+	}
+	if got[1].VP != "vp0" || got[1].Seq != 42 || got[1].Try != 1 || got[1].Node != "" {
+		t.Errorf("prober event = %+v", got[1])
+	}
+}

@@ -1,0 +1,19 @@
+package obs
+
+// Observer is the observability configuration a campaign resolves at
+// construction time. The zero value (and a nil *Observer) observes
+// nothing: no tracer hooks are installed and per-node attribution
+// stays off, so the simulation hot paths pay only their nil checks.
+type Observer struct {
+	// Trace, when non-nil, receives node-level packet events and probe
+	// lifecycle events from every engine and prober the campaign owns.
+	Trace *Trace
+	// PerNode enables per-router/per-host counter attribution on the
+	// campaign's networks, populating ShardMetrics.Nodes in snapshots.
+	PerNode bool
+}
+
+// Active reports whether the observer asks for any instrumentation.
+func (o *Observer) Active() bool {
+	return o != nil && (o.Trace != nil || o.PerNode)
+}

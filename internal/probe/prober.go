@@ -69,6 +69,14 @@ func (o Options) attempts() int {
 	return o.Retries + 1
 }
 
+// TraceFunc observes probe lifecycle events: "probe.send",
+// "probe.retransmit", "probe.reply", "probe.timeout", "probe.senderror".
+// at is the transport clock, dst the probed destination, seq the
+// attempt's sequence number, and attempt the 1-based attempt count.
+// Tracers are called synchronously from the prober's event context and
+// must not re-enter it.
+type TraceFunc func(at time.Duration, event string, dst netip.Addr, seq uint16, attempt int)
+
 // Prober sends probes over a Transport and matches responses. A Prober
 // is single-threaded: all callbacks arrive from the transport's event
 // context. Create one Prober per vantage point with a distinct id.
@@ -77,6 +85,7 @@ type Prober struct {
 	id      uint16
 	nextSeq uint16
 	pending map[uint16]*pendingProbe
+	tracer  TraceFunc // nil unless observability is attached
 
 	// RTT EWMA state for adaptive timeouts (RFC 6298 estimator). Zero
 	// srtt means no sample yet.
@@ -124,6 +133,10 @@ func New(tr Transport, id uint16) *Prober {
 	tr.SetReceiver(p.receive)
 	return p
 }
+
+// SetTracer installs fn as the prober's lifecycle tracer; nil removes
+// it. Probers without a tracer pay a single nil check per event.
+func (p *Prober) SetTracer(fn TraceFunc) { p.tracer = fn }
 
 // Schedule defers fn on the transport clock; measurement layers use it
 // to stagger work without reaching into the transport.
@@ -237,6 +250,13 @@ func (p *Prober) sendAttempt(op *probeOp) {
 	if op.attempts > 1 {
 		p.retransmits++
 	}
+	if p.tracer != nil {
+		ev := "probe.send"
+		if op.attempts > 1 {
+			ev = "probe.retransmit"
+		}
+		p.tracer(p.tr.Now(), ev, op.spec.Dst, seq, op.attempts)
+	}
 	p.tr.Inject(wire)
 	// Exponential backoff: attempt k waits baseTimeout << (k-1).
 	p.tr.Schedule(op.baseTimeout<<(op.attempts-1), func() { p.attemptTimeout(pp) })
@@ -255,6 +275,9 @@ func (p *Prober) attemptTimeout(pp *pendingProbe) {
 	}
 	p.resolveOp(op)
 	p.timedOut++
+	if p.tracer != nil {
+		p.tracer(p.tr.Now(), "probe.timeout", op.spec.Dst, pp.seq, op.attempts)
+	}
 	op.done(Result{Spec: op.spec, Seq: pp.seq, SentAt: op.firstSentAt,
 		Type: NoResponse, Attempts: op.attempts})
 }
@@ -262,6 +285,9 @@ func (p *Prober) attemptTimeout(pp *pendingProbe) {
 // failOp resolves an op with a SendError result.
 func (p *Prober) failOp(op *probeOp, seq uint16, err error) {
 	p.resolveOp(op)
+	if p.tracer != nil {
+		p.tracer(p.tr.Now(), "probe.senderror", op.spec.Dst, seq, op.attempts)
+	}
 	op.done(Result{Spec: op.spec, Seq: seq, SentAt: p.tr.Now(),
 		Type: SendError, Err: err, Attempts: op.attempts})
 }
@@ -509,6 +535,9 @@ func (p *Prober) complete(pp *pendingProbe, res Result) {
 	res.MatchedAttempt = pp.attempt
 	p.resolveOp(op)
 	p.matched++
+	if p.tracer != nil {
+		p.tracer(res.RcvdAt, "probe.reply", op.spec.Dst, pp.seq, pp.attempt)
+	}
 	if !op.external {
 		p.observeRTT(res.RcvdAt - pp.sentAt)
 	}

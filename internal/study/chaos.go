@@ -6,6 +6,7 @@ import (
 	"net/netip"
 
 	"recordroute/internal/netsim"
+	"recordroute/internal/obs"
 	"recordroute/internal/topology"
 )
 
@@ -70,6 +71,11 @@ type Chaos struct {
 	Steps []ChaosStep
 	// Retries is the recovery arm's retransmission budget.
 	Retries int
+	// Snapshots holds each arm's metrics capture, keyed "baseline",
+	// "<label>/single-shot", and "<label>/retry". Every arm rebuilds
+	// its Internet from the same config and seeds, so snapshots are as
+	// reproducible as the arms themselves.
+	Snapshots map[string]*obs.Snapshot
 }
 
 // chaosArm builds a fresh Internet from cfg with the given fault plan
@@ -77,13 +83,13 @@ type Chaos struct {
 // responsiveness only. retries > 0 is the recovery arm: retransmission
 // with adaptive timeouts plus the full §3.3 rescue pipeline, whose
 // reclassifications land in the returned reachable set.
-func chaosArm(cfg topology.Config, opts Options, fc *netsim.FaultConfig, retries int) (ChaosArm, map[netip.Addr]bool, netsim.FaultSummary, error) {
+func chaosArm(cfg topology.Config, opts Options, fc *netsim.FaultConfig, retries int, armLabel string) (ChaosArm, map[netip.Addr]bool, netsim.FaultSummary, *obs.Snapshot, error) {
 	cfg.Faults = fc
 	opts.Retries = retries
 	opts.Adaptive = retries > 0
 	s, err := New(cfg, opts)
 	if err != nil {
-		return ChaosArm{}, nil, netsim.FaultSummary{}, err
+		return ChaosArm{}, nil, netsim.FaultSummary{}, nil, err
 	}
 	r := s.RunResponsiveness()
 	if retries > 0 {
@@ -105,7 +111,7 @@ func chaosArm(cfg topology.Config, opts Options, fc *netsim.FaultConfig, retries
 			reach[d] = true
 		}
 	}
-	return arm, reach, s.Topo.Faults, nil
+	return arm, reach, s.Topo.Faults, s.Metrics(armLabel), nil
 }
 
 // RunChaos sweeps the fault levels (DefaultChaosLevels when nil),
@@ -122,10 +128,10 @@ func RunChaos(cfg topology.Config, opts Options, levels []ChaosLevel) (*Chaos, e
 	if retries <= 0 {
 		retries = 2
 	}
-	c := &Chaos{Retries: retries}
+	c := &Chaos{Retries: retries, Snapshots: make(map[string]*obs.Snapshot)}
 	var err error
 	var baseReach map[netip.Addr]bool
-	if c.Baseline, baseReach, _, err = chaosArm(cfg, opts, nil, 0); err != nil {
+	if c.Baseline, baseReach, _, c.Snapshots["baseline"], err = chaosArm(cfg, opts, nil, 0, "baseline"); err != nil {
 		return nil, err
 	}
 	for _, lv := range levels {
@@ -135,10 +141,11 @@ func RunChaos(cfg topology.Config, opts Options, levels []ChaosLevel) (*Chaos, e
 		}
 		step := ChaosStep{Label: lv.Label}
 		var noReach, reReach map[netip.Addr]bool
-		if step.NoRetry, noReach, step.Faults, err = chaosArm(cfg, opts, &fc, 0); err != nil {
+		single, retry := lv.Label+"/single-shot", lv.Label+"/retry"
+		if step.NoRetry, noReach, step.Faults, c.Snapshots[single], err = chaosArm(cfg, opts, &fc, 0, single); err != nil {
 			return nil, err
 		}
-		if step.Retry, reReach, _, err = chaosArm(cfg, opts, &fc, retries); err != nil {
+		if step.Retry, reReach, _, c.Snapshots[retry], err = chaosArm(cfg, opts, &fc, retries, retry); err != nil {
 			return nil, err
 		}
 		for d := range baseReach {

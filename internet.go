@@ -8,6 +8,7 @@ import (
 
 	"recordroute/internal/measure"
 	"recordroute/internal/netsim"
+	"recordroute/internal/obs"
 	"recordroute/internal/probe"
 	"recordroute/internal/revtr"
 	"recordroute/internal/study"
@@ -21,7 +22,8 @@ type Internet struct {
 	st   *study.Study
 	opts options
 
-	resp *study.Responsiveness // cached Table 1 measurement
+	resp   *study.Responsiveness // cached Table 1 measurement
+	obsCfg obs.Observer          // accumulated observability config (see obs.go)
 }
 
 // New builds a simulated Internet.

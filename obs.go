@@ -1,0 +1,78 @@
+package recordroute
+
+import (
+	"io"
+	"net/netip"
+
+	"recordroute/internal/obs"
+)
+
+// MetricsSnapshot is a labeled, mergeable capture of simulator
+// counters: one per-engine section per shard plus deterministic merged
+// totals. Serialize it with encoding/json (map keys sort, so equal
+// snapshots are byte-identical) or Snapshot.MarshalIndent.
+type MetricsSnapshot = obs.Snapshot
+
+// TraceFilter selects which events an attached trace retains. The
+// zero value keeps everything.
+type TraceFilter struct {
+	// DstPrefix, when valid, keeps only events touching addresses in
+	// the prefix — a probe's forward path and its replies both match.
+	DstPrefix netip.Prefix
+	// VP, when non-empty, keeps only that vantage point's probe
+	// lifecycle events (send, retransmit, reply, timeout).
+	VP string
+}
+
+// TraceHandle is an attached event trace: a bounded ring of
+// virtual-clock-stamped probe lifecycle and router/host packet events.
+type TraceHandle struct {
+	t *obs.Trace
+}
+
+// WriteJSONL serializes the retained events to w, one JSON object per
+// line, oldest first.
+func (h *TraceHandle) WriteJSONL(w io.Writer) error { return h.t.WriteJSONL(w) }
+
+// Len reports how many events are retained.
+func (h *TraceHandle) Len() int { return h.t.Len() }
+
+// Dropped reports how many events the bounded ring evicted.
+func (h *TraceHandle) Dropped() uint64 { return h.t.Dropped() }
+
+// observe applies the Internet's accumulated observer configuration to
+// every engine and prober it owns.
+func (in *Internet) observe() {
+	in.st.Observe(&in.obsCfg)
+}
+
+// AttachTrace installs a bounded event trace (capacity events,
+// <= 0 for the 65536 default) over every engine and prober this
+// Internet probes through. Attach before running experiments; tracing
+// is passive and never changes what a run computes or measures — trace
+// capture happens synchronously inside observed events and schedules
+// nothing on the virtual clock (see DESIGN.md, "Observability").
+func (in *Internet) AttachTrace(f TraceFilter, capacity int) *TraceHandle {
+	t := obs.NewTrace(capacity, obs.Filter{DstPrefix: f.DstPrefix, VP: f.VP})
+	in.obsCfg.Trace = t
+	in.observe()
+	return &TraceHandle{t: t}
+}
+
+// EnablePerNodeMetrics switches on per-router/per-host counter
+// attribution, populating the Nodes sections of later Metrics
+// snapshots. Off by default: attribution costs a map probe per counter
+// event.
+func (in *Internet) EnablePerNodeMetrics() {
+	in.obsCfg.PerNode = true
+	in.observe()
+}
+
+// Metrics captures a labeled snapshot of every engine's counters: the
+// shared topology engine plus one section per campaign shard. The
+// snapshot's Merged totals are invariant under WithShards for the
+// sharding-safe experiments — the determinism contract extends to
+// metrics, not just results.
+func (in *Internet) Metrics(label string) *MetricsSnapshot {
+	return in.st.Metrics(label)
+}
