@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-metrics bench-all race study fuzz cover examples clean
+.PHONY: all build test vet bench bench-guard bench-metrics bench-all race study fuzz cover examples clean
 
 all: build test
 
@@ -16,13 +16,26 @@ test: vet
 	$(GO) test -shuffle=on ./...
 
 # Headline campaign benchmarks (Table 1, Figure 1 sequential and
-# sharded, Figure 2), archived as machine-readable JSON. The record
-# includes gomaxprocs/numcpu so shard speedups can be judged against the
-# hardware parallelism the run actually had.
+# sharded, Figure 2) plus the snapshot/clone scaling suite, archived as
+# machine-readable JSON. The record includes gomaxprocs/numcpu so shard
+# speedups can be judged against the hardware parallelism the run
+# actually had; the second invocation re-runs the shard-sensitive
+# benchmarks pinned to GOMAXPROCS=4 so the archive always carries a
+# multi-proc data point even on single-core runners (per-line -P
+# suffixes record which run each result came from).
 bench:
-	$(GO) test -bench 'BenchmarkTable1ResponseRates|BenchmarkFigure1ClosestVPCDF|BenchmarkFigure1StudyShards|BenchmarkFigure2Epochs' \
-		-benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_parallel.json
+	( $(GO) test -bench 'BenchmarkTable1ResponseRates|BenchmarkFigure1ClosestVPCDF|BenchmarkFigure1StudyShards|BenchmarkFigure2Epochs|BenchmarkBuildVsClone$$|BenchmarkFleetSpinup|BenchmarkLargeScaleCampaign|BenchmarkAblationDecode/reused|BenchmarkSimulatorForwarding' \
+		-benchtime 1x -benchmem -run '^$$' . ; \
+	  GOMAXPROCS=4 $(GO) test -bench 'BenchmarkFigure1StudyShards|BenchmarkFleetSpinup' \
+		-benchtime 1x -benchmem -run '^$$' . ) | $(GO) run ./cmd/benchjson > BENCH_parallel.json
 	cat BENCH_parallel.json
+
+# Bench-regression smoke: re-run the pinned hot-path benchmarks and fail
+# if any allocs/op grew >25% over the checked-in baseline (see
+# cmd/benchguard for why allocation counts gate and timings don't).
+bench-guard:
+	$(GO) test -bench 'BenchmarkAblationDecode|BenchmarkSimulatorForwarding|BenchmarkBuildVsClone$$|BenchmarkFleetSpinup' \
+		-benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchguard -baseline BENCH_parallel.json
 
 # Like bench, but first captures a reference campaign's metrics
 # snapshot (rrstudy -metrics) and embeds it into BENCH_metrics.json, so

@@ -1,0 +1,132 @@
+// Command benchguard compares a fresh `go test -bench` run against the
+// checked-in BENCH_parallel.json baseline and fails (exit 1) when a
+// pinned hot-path benchmark regresses its allocs/op beyond the
+// tolerance. It is the CI bench-regression smoke: timing is too noisy
+// to gate on in shared runners, but allocation counts are deterministic
+// for these paths, so a jump means a real code change — a lost
+// preallocation, a broken copy-on-write share, an accidental per-packet
+// allocation.
+//
+//	go test -bench 'BuildVsClone|FleetSpinup' -benchtime 1x -benchmem -run '^$' . |
+//	    go run ./cmd/benchguard -baseline BENCH_parallel.json
+//
+// Benchmarks present in only one of the two sides are reported but do
+// not fail the run (the baseline regenerates via `make bench`, which may
+// trail a freshly added benchmark by one commit). Benchmarks matching
+// -pin that exist on both sides must stay within -tolerance; everything
+// else is informational.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"recordroute/internal/benchfmt"
+)
+
+// defaultPin covers the hot paths the repo's perf PRs optimized:
+// packet decode reuse, raw forwarding, snapshot cloning, and fleet
+// spin-up. A regression in any of their allocation counts is a
+// structural change, not noise.
+const defaultPin = `^(BenchmarkAblationDecode/reused|BenchmarkSimulatorForwarding|BenchmarkBuildVsClone|BenchmarkFleetSpinup)`
+
+// baseline mirrors the parts of cmd/benchjson's Record that the guard
+// reads back.
+type baseline struct {
+	Results []struct {
+		Name    string             `json:"name"`
+		Procs   int                `json:"procs"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"results"`
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_parallel.json", "baseline record written by cmd/benchjson")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional allocs/op increase over baseline")
+	pin := flag.String("pin", defaultPin, "regexp of benchmark names whose regressions fail the run")
+	flag.Parse()
+
+	pinRE, err := regexp.Compile(*pin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: bad -pin:", err)
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *basePath, err)
+		os.Exit(2)
+	}
+	// Key on name alone, preferring the single-proc entry when the
+	// baseline holds several GOMAXPROCS runs of one benchmark: the CI
+	// smoke runs at default procs, and allocs/op is procs-independent
+	// for these single-threaded-engine paths anyway.
+	baseAllocs := make(map[string]float64)
+	seenProcs := make(map[string]int)
+	for _, r := range base.Results {
+		a, ok := r.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		if p, dup := seenProcs[r.Name]; dup && p <= r.Procs {
+			continue
+		}
+		baseAllocs[r.Name] = a
+		seenProcs[r.Name] = r.Procs
+	}
+
+	failed := false
+	checked := 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		r, ok := benchfmt.ParseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		cur, ok := r.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		want, ok := baseAllocs[r.Name]
+		if !ok {
+			fmt.Printf("benchguard: %-50s %8.0f allocs/op (no baseline, skipped)\n", r.Name, cur)
+			continue
+		}
+		limit := want * (1 + *tolerance)
+		status := "ok"
+		if cur > limit {
+			if pinRE.MatchString(r.Name) {
+				status = "REGRESSION"
+				failed = true
+			} else {
+				status = "regressed (unpinned)"
+			}
+		}
+		if pinRE.MatchString(r.Name) {
+			checked++
+		}
+		fmt.Printf("benchguard: %-50s %8.0f vs baseline %8.0f allocs/op  %s\n", r.Name, cur, want, status)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no pinned benchmark matched both the run and the baseline")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: allocs/op regression beyond %.0f%% tolerance\n", *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d pinned benchmark(s) within %.0f%% of baseline\n", checked, *tolerance*100)
+}

@@ -4,10 +4,11 @@
 // BENCH_parallel.json). Only the standard library is used.
 //
 // Each benchmark line becomes an object holding the iteration count,
-// ns/op, and every extra metric the benchmark reported (B/op,
-// allocs/op, and custom ReportMetric values such as reachable-frac or
-// gomaxprocs). Non-benchmark lines are ignored, so the tool can consume
-// raw `go test` output directly:
+// ns/op, the GOMAXPROCS the line ran under, and every extra metric the
+// benchmark reported (B/op, allocs/op, and custom ReportMetric values
+// such as reachable-frac or spinup-ms). Non-benchmark lines are
+// ignored, so the tool can consume raw `go test` output directly —
+// including several concatenated runs at different GOMAXPROCS:
 //
 //	go test -bench 'Figure1' -benchtime 1x . | go run ./cmd/benchjson
 //
@@ -23,13 +24,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
+
+	"recordroute/internal/benchfmt"
 )
 
 // Result is one parsed benchmark line.
 type Result struct {
 	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
@@ -71,8 +73,14 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			rec.Results = append(rec.Results, r)
+		if r, ok := benchfmt.ParseLine(sc.Text()); ok {
+			rec.Results = append(rec.Results, Result{
+				Name:       r.Name,
+				Procs:      r.Procs,
+				Iterations: r.Iterations,
+				NsPerOp:    r.NsPerOp,
+				Metrics:    r.Metrics,
+			})
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -85,38 +93,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-}
-
-// parseLine parses one `BenchmarkName-P  N  v1 unit1  v2 unit2 ...`
-// line; ok is false for anything else.
-func parseLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: fields[0], Iterations: iters}
-	// Strip the trailing -GOMAXPROCS suffix go test appends to the name.
-	if i := strings.LastIndexByte(fields[0], '-'); i > 0 {
-		r.Name = fields[0][:i]
-	}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Result{}, false
-		}
-		unit := fields[i+1]
-		if unit == "ns/op" {
-			r.NsPerOp = v
-			continue
-		}
-		if r.Metrics == nil {
-			r.Metrics = make(map[string]float64)
-		}
-		r.Metrics[unit] = v
-	}
-	return r, true
 }

@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	rrstudy [-scale 1.0] [-seed N] [-rate PPS] [-experiment all]
-//	        [-shards K] [-metrics out.json] [-trace dst=IP] [-progress]
+//	rrstudy [-scale 1.0|small|medium|large] [-seed N] [-rate PPS]
+//	        [-experiment all] [-shards K] [-metrics out.json]
+//	        [-trace dst=IP] [-progress]
 //
 // Experiments: all, table1, fig1, fig2, audit, fig3, fig4, fig5, vpdist,
 // atlas, lsrr, chaos.
 // At -scale 1.0 (the default, ≈1/100 of the paper's probing volume) the
-// full run takes on the order of a minute.
+// full run takes on the order of a minute. -scale also accepts a profile
+// name: small (quick iteration), medium (= 1.0), or large (10⁵+
+// advertised prefixes, approaching the paper's hitlist; a Table 1
+// campaign takes minutes).
 //
 // Observability: -metrics captures every engine's counters into a
 // per-shard snapshot with deterministic merged totals; -trace dst=<ip>
@@ -27,6 +31,7 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,7 +67,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rrstudy: ")
 	var (
-		scale      = flag.Float64("scale", 1.0, "topology scale factor (1.0 ≈ 1/100 of the paper)")
+		scale      = flag.String("scale", "1.0", "topology size: a numeric factor (1.0 ≈ 1/100 of the paper) or a profile name small|medium|large (large ≈ the paper's 10⁵-prefix hitlist)")
 		seed       = flag.Uint64("seed", 0, "random seed (0 = built-in default)")
 		rate       = flag.Float64("rate", 20, "per-VP probing rate in packets per second")
 		experiment = flag.String("experiment", "all", "experiment to run: all|table1|fig1|fig2|audit|fig3|fig4|fig5|vpdist|atlas|lsrr|chaos")
@@ -84,8 +89,12 @@ func main() {
 	flag.Parse()
 
 	start := time.Now()
+	sizing := recordroute.WithScaleProfile(*scale)
+	if f, err := strconv.ParseFloat(*scale, 64); err == nil {
+		sizing = recordroute.WithScale(f)
+	}
 	inet, err := recordroute.New(
-		recordroute.WithScale(*scale),
+		sizing,
 		recordroute.WithSeed(*seed),
 		recordroute.WithProbeRate(*rate),
 		recordroute.WithShards(*shards),

@@ -1,0 +1,62 @@
+// Package benchfmt parses `go test -bench` output lines into structured
+// results. It is shared by cmd/benchjson (archiving runs as JSON) and
+// cmd/benchguard (regression-checking runs against an archived
+// baseline), so both agree on names, units, and the GOMAXPROCS suffix.
+package benchfmt
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with any trailing -GOMAXPROCS suffix
+	// removed (sub-benchmark path included, e.g. "BenchmarkX/shards=4").
+	Name string
+	// Procs is the GOMAXPROCS the line ran under (the numeric suffix go
+	// test appends); 1 when the line carries none.
+	Procs      int
+	Iterations int64
+	NsPerOp    float64
+	// Metrics holds every extra `value unit` pair: B/op, allocs/op, and
+	// custom ReportMetric units.
+	Metrics map[string]float64
+}
+
+// ParseLine parses one `BenchmarkName-P  N  v1 unit1  v2 unit2 ...`
+// line; ok is false for anything else. Only an all-digit trailing dash
+// segment is treated as the GOMAXPROCS suffix — a name like
+// "BenchmarkBuild-vs-clone" keeps its last segment.
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Procs: 1, Iterations: iters}
+	if i := strings.LastIndexByte(r.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil && p > 0 {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64)
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}

@@ -1,0 +1,56 @@
+package benchfmt
+
+import "testing"
+
+func TestParseLineBasic(t *testing.T) {
+	r, ok := ParseLine("BenchmarkFoo-8   \t100\t  123.5 ns/op\t  64 B/op\t 2 allocs/op")
+	if !ok {
+		t.Fatal("not parsed")
+	}
+	if r.Name != "BenchmarkFoo" || r.Procs != 8 || r.Iterations != 100 || r.NsPerOp != 123.5 {
+		t.Fatalf("got %+v", r)
+	}
+	if r.Metrics["B/op"] != 64 || r.Metrics["allocs/op"] != 2 {
+		t.Fatalf("metrics %v", r.Metrics)
+	}
+}
+
+func TestParseLineSubBenchAndCustomMetric(t *testing.T) {
+	r, ok := ParseLine("BenchmarkFleetSpinup/shards=4-4 1 2000000 ns/op 12.5 spinup-ms 4 gomaxprocs")
+	if !ok {
+		t.Fatal("not parsed")
+	}
+	if r.Name != "BenchmarkFleetSpinup/shards=4" || r.Procs != 4 {
+		t.Fatalf("got %+v", r)
+	}
+	if r.Metrics["spinup-ms"] != 12.5 || r.Metrics["gomaxprocs"] != 4 {
+		t.Fatalf("metrics %v", r.Metrics)
+	}
+}
+
+// A non-numeric trailing dash segment is part of the name, not a procs
+// suffix (the bug the shared parser fixes: the old benchjson stripped
+// any last segment).
+func TestParseLineKeepsNonNumericSuffix(t *testing.T) {
+	r, ok := ParseLine("BenchmarkAblationDecode/sub-case 10 5 ns/op")
+	if !ok {
+		t.Fatal("not parsed")
+	}
+	if r.Name != "BenchmarkAblationDecode/sub-case" || r.Procs != 1 {
+		t.Fatalf("got %+v", r)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"Benchmark", // no fields
+		"BenchmarkX notanumber 5 ns/op",
+		"ok  \trecordroute\t1.2s",
+	} {
+		if _, ok := ParseLine(line); ok {
+			t.Errorf("parsed noise line %q", line)
+		}
+	}
+}

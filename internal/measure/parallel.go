@@ -41,6 +41,7 @@ import (
 // so later phases start at the same virtual instant in every replica.
 type ParallelCampaign struct {
 	cfg    topology.Config
+	src    *topology.Topology // snapshot source; nil → build from cfg
 	shards int
 
 	buildOnce sync.Once
@@ -91,14 +92,28 @@ func (e ShardError) Error() string {
 }
 
 // NewParallelCampaign returns a K-shard campaign over cfg's platform
-// VPs. Replicas are built lazily — on the first primitive — and
-// concurrently. shards below 1 is an error; shards above the VP count
-// is clamped (an empty replica would only waste a build).
+// VPs. The fleet is assembled lazily — on the first primitive — by one
+// topology.Build whose frozen snapshot stamps out the remaining
+// replicas (see NewParallelCampaignFrom for reusing an existing build).
+// shards below 1 is an error; shards above the VP count is clamped (an
+// empty replica would only waste memory).
 func NewParallelCampaign(cfg topology.Config, shards int) (*ParallelCampaign, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("measure: %d shards", shards)
 	}
 	return &ParallelCampaign{cfg: cfg, shards: shards}, nil
+}
+
+// NewParallelCampaignFrom returns a K-shard campaign whose replicas are
+// all cloned from an already-built topology's frozen snapshot — no
+// regeneration at all. The source keeps working independently (its
+// engine state never leaks into the pristine clones), so a study can
+// share one Build between its sequential campaign and its fleet.
+func NewParallelCampaignFrom(src *topology.Topology, shards int) (*ParallelCampaign, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("measure: %d shards", shards)
+	}
+	return &ParallelCampaign{cfg: src.Cfg, src: src, shards: shards}, nil
 }
 
 // NumShards returns the shard count the campaign will use (clamped to
@@ -110,53 +125,56 @@ func (pc *ParallelCampaign) NumShards() int {
 	return pc.shards
 }
 
-// init builds the shard replicas on first use, concurrently on the
-// worker pool. Each build is deterministic from cfg.Seed, so every
-// replica is the same simulated Internet.
+// init assembles the shard fleet on first use: one route plane, K
+// overlays. With no pre-built source, the plane is built once from cfg
+// and doubles as replica 0 — it is pristine, so it equals a clone; the
+// rest are snapshot clones stamped out concurrently. With a source
+// (NewParallelCampaignFrom), every replica is a clone, because the
+// source engine may already have run traffic. Cloning shares the frozen
+// FIBs, routes, and addressing, so fleet spin-up is a small multiple of
+// a single build regardless of K.
 func (pc *ParallelCampaign) init() error {
 	pc.buildOnce.Do(func() {
-		// Probe the VP roster once to clamp the shard count; this build
-		// doubles as replica 0.
-		first, err := topology.Build(pc.cfg)
-		if err != nil {
-			pc.buildErr = err
-			return
+		src := pc.src
+		firstIsSource := false
+		if src == nil {
+			built, err := topology.Build(pc.cfg)
+			if err != nil {
+				pc.buildErr = err
+				return
+			}
+			src = built
+			firstIsSource = true
 		}
+		snap := topology.SnapshotOf(src)
 		k := pc.shards
-		if n := len(first.VPs); k > n && n > 0 {
+		if n := len(src.VPs); k > n && n > 0 {
 			k = n
 		}
 		pc.replicas = make([]*replica, k)
-		pc.replicas[0] = &replica{topo: first, eng: first.Net.Engine()}
-		errs := make([]error, k)
+		start := 0
+		if firstIsSource {
+			pc.replicas[0] = &replica{topo: src, eng: src.Net.Engine()}
+			start = 1
+		}
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for s := 1; s < k; s++ {
+		for s := start; s < k; s++ {
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				topo, err := topology.Build(pc.cfg)
-				if err != nil {
-					errs[s] = err
-					return
-				}
+				topo := snap.Clone()
 				pc.replicas[s] = &replica{topo: topo, eng: topo.Net.Engine()}
 			}(s)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				pc.buildErr = err
-				return
-			}
-		}
 		// Partition VPs round-robin by campaign index, keeping the
 		// sequential prober ID assignment (0x4000+i) so wire images and
 		// reply matching are identical to Campaign's.
-		pc.vpShard = make(map[string]int, len(first.VPs))
-		for i, v := range first.VPs {
+		pc.vpShard = make(map[string]int, len(src.VPs))
+		for i, v := range src.VPs {
 			shard := i % k
 			rep := pc.replicas[shard]
 			rv := rep.topo.VPByName(v.Name)

@@ -60,6 +60,39 @@ func (f *FIB) insertLength(bits int) {
 	f.lengths[i] = bits
 }
 
+// Grow preallocates the /32 host-route map for about n entries. It only
+// acts on a still-empty table — the topology generator calls it right
+// after creating a router, when the expected connected-route count is
+// known but nothing is installed yet — so no copying ever happens.
+func (f *FIB) Grow(n int) {
+	if f.size == 0 && n > 0 {
+		f.host = make(map[netip.Addr]*Iface, n)
+	}
+}
+
+// clone returns a deep copy of the table structure. The values — egress
+// interface pointers — are shared on purpose: a cloned replica resolves
+// them through Network.localize.
+func (f *FIB) clone() *FIB {
+	c := &FIB{
+		host:    make(map[netip.Addr]*Iface, len(f.host)),
+		byLen:   make(map[int]map[netip.Prefix]*Iface, len(f.byLen)),
+		lengths: append([]int(nil), f.lengths...),
+		size:    f.size,
+	}
+	for a, v := range f.host {
+		c.host[a] = v
+	}
+	for bits, m := range f.byLen {
+		cm := make(map[netip.Prefix]*Iface, len(m))
+		for p, v := range m {
+			cm[p] = v
+		}
+		c.byLen[bits] = cm
+	}
+	return c
+}
+
 // Lookup returns the egress interface for dst under longest-prefix
 // match, or nil if no route covers it. The /32 host-route map — the
 // common case on forwarding paths, where connected peers are host

@@ -56,12 +56,17 @@ type SnifferFunc func(now time.Duration, pkt []byte)
 type Host struct {
 	name     string
 	net      *Network
+	idx      int // registration index; replica clones keep it
 	behavior HostBehavior
 	uplink   *Iface
 	addrs    []netip.Addr
 	local    map[netip.Addr]bool
 	ipid     uint16
 	sniffer  SnifferFunc
+
+	// localShared marks addrs/local as part of a frozen route plane
+	// possibly shared with replica networks; mutation copies first.
+	localShared bool
 
 	ip packet.IPv4
 	rr packet.RecordRoute
@@ -97,8 +102,18 @@ func (h *Host) Addrs() []netip.Addr { return h.addrs }
 func (h *Host) Behavior() HostBehavior { return h.behavior }
 
 // AddAlias adds an extra local address; probes to it are answered like
-// probes to the primary.
+// probes to the primary. On a host whose address set belongs to a
+// frozen, shared route plane the set is copied first (copy-on-write).
 func (h *Host) AddAlias(a netip.Addr) {
+	if h.localShared {
+		h.addrs = append([]netip.Addr(nil), h.addrs...)
+		local := make(map[netip.Addr]bool, len(h.local)+1)
+		for x := range h.local {
+			local[x] = true
+		}
+		h.local = local
+		h.localShared = false
+	}
 	h.addrs = append(h.addrs, a)
 	h.local[a] = true
 }

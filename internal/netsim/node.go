@@ -24,6 +24,12 @@ type Iface struct {
 	// Owner is the node this interface belongs to.
 	Owner Node
 
+	// id is the interface's index in its network's registry, assigned in
+	// Connect creation order. Replica networks cloned from a snapshot
+	// reuse the same ids, which is how shared route-plane structures
+	// (FIBs, oracle closures) holding source-network interface pointers
+	// resolve to the clone's own interfaces — see Network.localize.
+	id     int32
 	peer   *Iface
 	delay  time.Duration
 	loss   float64 // per-direction drop probability
@@ -97,8 +103,11 @@ type Network struct {
 	engine   *Engine
 	nodes    []Node
 	byName   map[string]Node
-	counters []uint64 // indexed by interned counter ID
-	lossRNG  uint64   // xorshift state for deterministic loss draws
+	nameIdx  map[string]int // frozen name → nodes index, shared by clones
+	ifaces   []*Iface       // registry in Connect order; index = Iface.id
+	frozen   bool           // immutable route plane; see Freeze
+	counters []uint64       // indexed by interned counter ID
+	lossRNG  uint64         // xorshift state for deterministic loss draws
 	hook     func(at time.Duration, counter string)
 	bufs     [][]byte // free list of serialization buffers
 
@@ -130,12 +139,17 @@ func (n *Network) putBuf(b []byte) {
 	n.bufs = append(n.bufs, b[:0])
 }
 
+// lossSeed is the fixed initial xorshift state for link-loss draws;
+// replicas cloned from a snapshot restart from it, exactly like a fresh
+// build.
+const lossSeed = 0x9e3779b97f4a7c15
+
 // New returns an empty network with a fresh engine.
 func New() *Network {
 	return &Network{
 		engine:  NewEngine(),
 		byName:  make(map[string]Node),
-		lossRNG: 0x9e3779b97f4a7c15,
+		lossRNG: lossSeed,
 	}
 }
 
@@ -202,8 +216,17 @@ func (n *Network) Counters() []string {
 	return out
 }
 
-// Node returns the named node, or nil.
-func (n *Network) Node(name string) Node { return n.byName[name] }
+// Node returns the named node, or nil. Clones resolve through the
+// shared frozen name index instead of carrying their own map.
+func (n *Network) Node(name string) Node {
+	if n.byName != nil {
+		return n.byName[name]
+	}
+	if i, ok := n.nameIdx[name]; ok {
+		return n.nodes[i]
+	}
+	return nil
+}
 
 // NumNodes returns how many nodes have been added.
 func (n *Network) NumNodes() int { return len(n.nodes) }
@@ -211,19 +234,51 @@ func (n *Network) NumNodes() int { return len(n.nodes) }
 // register adds a node, panicking on duplicate names: topology
 // construction bugs should fail loudly at build time, not mid-run.
 func (n *Network) register(node Node) {
+	if n.byName == nil {
+		// A clone adding nodes materializes its own name map, seeded from
+		// the shared frozen index it no longer matches.
+		n.byName = make(map[string]Node, len(n.nodes)+1)
+		for _, existing := range n.nodes {
+			n.byName[existing.Name()] = existing
+		}
+	}
 	if _, dup := n.byName[node.Name()]; dup {
 		panic("netsim: duplicate node name " + node.Name())
 	}
+	switch v := node.(type) {
+	case *Router:
+		v.idx = len(n.nodes)
+	case *Host:
+		v.idx = len(n.nodes)
+	}
 	n.nodes = append(n.nodes, node)
 	n.byName[node.Name()] = node
+}
+
+// localize maps an interface of a snapshot source network onto this
+// network's replica of it: identity for nil and for this network's own
+// interfaces, an id-indexed registry lookup for cloned planes. The
+// address check lets hand-built interfaces that never joined a registry
+// pass through untouched.
+func (n *Network) localize(via *Iface) *Iface {
+	if via == nil || via.net == n {
+		return via
+	}
+	if int(via.id) < len(n.ifaces) {
+		if l := n.ifaces[via.id]; l.Addr == via.Addr {
+			return l
+		}
+	}
+	return via
 }
 
 // Connect links two nodes with a bidirectional point-to-point link.
 // addrA and addrB become the interface addresses on each side and delay
 // applies in both directions. It returns the two interfaces.
 func (n *Network) Connect(a, b Node, addrA, addrB netip.Addr, delay time.Duration) (*Iface, *Iface) {
-	ia := &Iface{Addr: addrA, Owner: a, delay: delay, net: n}
-	ib := &Iface{Addr: addrB, Owner: b, delay: delay, net: n}
+	ia := &Iface{Addr: addrA, Owner: a, delay: delay, net: n, id: int32(len(n.ifaces))}
+	ib := &Iface{Addr: addrB, Owner: b, delay: delay, net: n, id: int32(len(n.ifaces) + 1)}
+	n.ifaces = append(n.ifaces, ia, ib)
 	ia.peer, ib.peer = ib, ia
 	a.addIface(ia)
 	b.addIface(ib)

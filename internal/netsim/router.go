@@ -52,6 +52,7 @@ type RouterBehavior struct {
 type Router struct {
 	name       string
 	net        *Network
+	idx        int // registration index; replica clones keep it
 	behavior   RouterBehavior
 	fib        *FIB
 	routeFn    func(dst netip.Addr) *Iface
@@ -62,11 +63,21 @@ type Router struct {
 	ipid       uint16
 	faults     *routerFaults // nil when no fault plan afflicts this router
 
+	// fibShared/localShared mark fib and local as part of a frozen route
+	// plane possibly shared with replica networks (see Network.Freeze):
+	// mutation must copy first. Both clear on the first copy-on-write.
+	fibShared   bool
+	localShared bool
+
 	// routeCache memoizes lookupRoute results per destination (including
 	// negative ones): the routing oracle recomputes a policy path on
 	// every packet, and forwarding asks the same question for every probe
 	// of a campaign. Invalidated whenever the FIB or oracle changes.
 	routeCache map[netip.Addr]*Iface
+	// routeBase is the frozen, read-only memoized-route map inherited
+	// from a snapshot (source-network interface pointers, localized on
+	// hit). It is never written; invalidation just drops the reference.
+	routeBase map[netip.Addr]*Iface
 
 	// scratch decoding state; safe because the engine is single-threaded.
 	ip packet.IPv4
@@ -89,18 +100,26 @@ func (n *Network) AddRouter(name string, behavior RouterBehavior) *Router {
 		local:    make(map[netip.Addr]bool),
 		ipid:     seedIPID(name),
 	}
-	if behavior.OptionsRateLimit > 0 {
-		burst := behavior.OptionsRateBurst
-		if burst <= 0 {
-			burst = behavior.OptionsRateLimit
-		}
-		r.limiter = NewTokenBucket(behavior.OptionsRateLimit, burst)
-	}
-	if behavior.ICMPErrorRateLimit > 0 {
-		r.errLimiter = NewTokenBucket(behavior.ICMPErrorRateLimit, behavior.ICMPErrorRateLimit/2)
-	}
+	r.limiter, r.errLimiter = behavior.newLimiters()
 	n.register(r)
 	return r
+}
+
+// newLimiters builds the pristine slow-path and ICMP-error policers the
+// behavior calls for (nil when unlimited). Replica cloning reuses this
+// so cloned routers start with the exact token state a fresh build has.
+func (b RouterBehavior) newLimiters() (limiter, errLimiter *TokenBucket) {
+	if b.OptionsRateLimit > 0 {
+		burst := b.OptionsRateBurst
+		if burst <= 0 {
+			burst = b.OptionsRateLimit
+		}
+		limiter = NewTokenBucket(b.OptionsRateLimit, burst)
+	}
+	if b.ICMPErrorRateLimit > 0 {
+		errLimiter = NewTokenBucket(b.ICMPErrorRateLimit, b.ICMPErrorRateLimit/2)
+	}
+	return limiter, errLimiter
 }
 
 // Name returns the router's name.
@@ -131,8 +150,15 @@ func (r *Router) Behavior() RouterBehavior { return r.behavior }
 // FIB returns the router's forwarding table for route installation.
 func (r *Router) FIB() *FIB { return r.fib }
 
-// AddRoute installs a route for prefix via the given interface.
+// AddRoute installs a route for prefix via the given interface. On a
+// router whose FIB belongs to a frozen, shared route plane the table is
+// copied first (copy-on-write), so siblings cloned from the same
+// snapshot never see the change.
 func (r *Router) AddRoute(prefix netip.Prefix, via *Iface) {
+	if r.fibShared {
+		r.fib = r.fib.clone()
+		r.fibShared = false
+	}
 	r.fib.Add(prefix, via)
 	r.invalidateRoutes()
 }
@@ -147,13 +173,17 @@ func (r *Router) SetRouteFunc(fn func(dst netip.Addr) *Iface) {
 }
 
 // invalidateRoutes drops all memoized lookups after a routing change.
+// The shared frozen base (if any) is detached, never mutated: sibling
+// replicas keep reading it.
 func (r *Router) invalidateRoutes() {
 	clear(r.routeCache)
+	r.routeBase = nil
 }
 
 // lookupRoute resolves the egress interface for dst via the oracle or
 // FIB, memoizing the result (nil included: no route stays no route until
-// routing changes).
+// routing changes). A replica cloned from a snapshot first consults the
+// snapshot's frozen memo (routeBase), localizing its plane pointers.
 func (r *Router) lookupRoute(dst netip.Addr) *Iface {
 	if f := r.faults; f != nil && f.withdraw.duty > 0 {
 		// A transient withdrawal boundary invalidates memoized routes —
@@ -168,7 +198,16 @@ func (r *Router) lookupRoute(dst netip.Addr) *Iface {
 	if via, ok := r.routeCache[dst]; ok {
 		return via
 	}
-	via := r.lookupRouteSlow(dst)
+	via, hit := (*Iface)(nil), false
+	if r.routeBase != nil {
+		via, hit = r.routeBase[dst]
+		if hit {
+			via = r.net.localize(via)
+		}
+	}
+	if !hit {
+		via = r.net.localize(r.lookupRouteSlow(dst))
+	}
 	if r.routeCache == nil || len(r.routeCache) >= routeCacheMax {
 		r.routeCache = make(map[netip.Addr]*Iface, 64)
 	}
@@ -197,6 +236,14 @@ func (r *Router) Interfaces() []*Iface { return r.ifaces }
 func (r *Router) ownsAddr(addr netip.Addr) bool { return r.local[addr] }
 
 func (r *Router) addIface(i *Iface) {
+	if r.localShared {
+		local := make(map[netip.Addr]bool, len(r.local)+1)
+		for a := range r.local {
+			local[a] = true
+		}
+		r.local = local
+		r.localShared = false
+	}
 	r.ifaces = append(r.ifaces, i)
 	r.local[i.Addr] = true
 }

@@ -10,17 +10,18 @@ import (
 
 	"recordroute/internal/measure"
 	"recordroute/internal/netsim"
+	"recordroute/internal/probe"
 	"recordroute/internal/topology"
 )
 
 // shardRun is one cell of the determinism property: a study built from
 // identical config, run to completion on K shards.
 type shardRun struct {
-	shards  int
-	resp    *Responsiveness
-	render  []byte
-	merged  []byte // canonical JSON of the merged metrics counters
-	errs    []string
+	shards int
+	resp   *Responsiveness
+	render []byte
+	merged []byte // canonical JSON of the merged metrics counters
+	errs   []string
 }
 
 // runSharded builds and runs one study cell.
@@ -116,6 +117,101 @@ func comparePerVP(t *testing.T, k int, seq, par *Responsiveness) {
 	}
 	for _, vp := range seqVPs {
 		srs, prs := seq.PerVP[vp], par.PerVP[vp]
+		if len(srs) != len(prs) {
+			t.Errorf("K=%d VP %s: %d results sequential vs %d sharded", k, vp, len(srs), len(prs))
+			continue
+		}
+		for i := range srs {
+			a, b := srs[i], prs[i]
+			a.ReplyIPID, b.ReplyIPID = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("K=%d VP %s result %d differs:\nsequential: %+v\nsharded:    %+v", k, vp, i, a, b)
+				break
+			}
+		}
+	}
+}
+
+// TestCloneEquivalenceProperty is the snapshot/clone contract (DESIGN.md
+// §10) at the campaign-primitive level, across all three scale profiles:
+// a fleet of replicas cloned from the study's own topology — after that
+// topology has already carried the sequential campaign's traffic — must
+// reproduce the sequential per-VP ping-RR streams exactly, modulo
+// ReplyIPID, with and without a fault plan. Destination lists are capped
+// on the bigger profiles to keep the cell bounded; the small profile
+// additionally runs at K=2 (the large ones use K=4, the heavier
+// partition). The large cell is skipped in -short and -race runs: it
+// adds only scale, not new sharing topology.
+func TestCloneEquivalenceProperty(t *testing.T) {
+	faults := []struct {
+		name string
+		fc   *netsim.FaultConfig
+	}{
+		{"no-faults", nil},
+		{"fault-plan", &netsim.FaultConfig{LossProb: 0.05, LossFrac: 0.25,
+			OutageFrac: 0.02, WithdrawFrac: 0.05}},
+	}
+	cells := []struct {
+		profile topology.ScaleProfile
+		shards  []int
+		dests   int
+		heavy   bool
+	}{
+		{topology.ScaleSmall, []int{2, 4}, 400, false},
+		{topology.ScaleMedium, []int{4}, 250, false},
+		{topology.ScaleLarge, []int{4}, 120, true},
+	}
+	for _, cell := range cells {
+		for _, f := range faults {
+			for _, k := range cell.shards {
+				t.Run(fmt.Sprintf("%s/%s/K=%d", cell.profile, f.name, k), func(t *testing.T) {
+					if cell.heavy && (testing.Short() || raceEnabled) {
+						t.Skip("large profile: skipped in -short/-race runs")
+					}
+					cfg := topology.DefaultConfig(topology.Epoch2016)
+					cfg.Seed = 11
+					cfg.Faults = f.fc
+					opts := Options{Rate: 200, ShuffleSeed: 7, Shards: k, Scale: cell.profile}
+					s, err := New(cfg, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dests := s.Data.Addrs()
+					if len(dests) > cell.dests {
+						dests = dests[:cell.dests]
+					}
+					// Sequential first: the fleet snapshot is taken only
+					// afterwards, off an engine that has already run — the
+					// clones must come out pristine regardless.
+					seq := s.Camp.PingRRAll(dests, opts.probeOpts(), s.Shuffler())
+					par := s.Fleet().PingRRAll(dests, opts.probeOpts(), s.Shuffler())
+					if pc, ok := s.Fleet().(*measure.ParallelCampaign); ok {
+						if errs := pc.ShardErrors(); len(errs) > 0 {
+							t.Fatalf("shard errors: %v", errs)
+						}
+					} else {
+						t.Fatalf("Shards=%d did not resolve to a ParallelCampaign", k)
+					}
+					comparePerVPResults(t, k, seq, par)
+				})
+			}
+		}
+	}
+}
+
+// comparePerVPResults is comparePerVP for raw primitive result maps.
+func comparePerVPResults(t *testing.T, k int, seq, par map[string][]probe.Result) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("K=%d: %d VPs sequential vs %d sharded", k, len(seq), len(par))
+	}
+	var vps []string
+	for vp := range seq {
+		vps = append(vps, vp)
+	}
+	sort.Strings(vps)
+	for _, vp := range vps {
+		srs, prs := seq[vp], par[vp]
 		if len(srs) != len(prs) {
 			t.Errorf("K=%d VP %s: %d results sequential vs %d sharded", k, vp, len(srs), len(prs))
 			continue

@@ -1,0 +1,7 @@
+//go:build race
+
+package study
+
+// raceEnabled reports whether this test binary was built with -race;
+// the heaviest property-test cells skip under it.
+const raceEnabled = true

@@ -54,6 +54,10 @@ type Options struct {
 	// measure cross-VP contention at shared policers and always run on
 	// the single engine.
 	Shards int
+	// Scale replaces the roster/prefix/VP sizing of the passed Config
+	// with a named profile's (topology.ProfileConfig) while keeping its
+	// Seed, Epoch, and Faults. Empty means: use the Config as given.
+	Scale topology.ScaleProfile
 }
 
 func (o Options) rate() float64 {
@@ -97,12 +101,19 @@ type Study struct {
 	// behind a source-proximate policer.
 	Origin *measure.VantagePoint
 
-	cfg   topology.Config
 	fleet measure.Fleet
 }
 
 // New builds the simulated Internet for cfg and wires up the campaign.
 func New(cfg topology.Config, opts Options) (*Study, error) {
+	if opts.Scale != "" {
+		pcfg, err := topology.ProfileConfig(cfg.Epoch, opts.Scale)
+		if err != nil {
+			return nil, err
+		}
+		pcfg.Seed, pcfg.Faults = cfg.Seed, cfg.Faults
+		cfg = pcfg
+	}
 	topo, err := topology.Build(cfg)
 	if err != nil {
 		return nil, err
@@ -111,7 +122,6 @@ func New(cfg topology.Config, opts Options) (*Study, error) {
 		Topo: topo,
 		Data: dataset.FromTopology(topo),
 		Opts: opts,
-		cfg:  cfg,
 	}
 	s.Camp = measure.NewCampaign(topo, topo.VPs)
 	s.CloudCamp = measure.NewCampaign(topo, topo.CloudVPs)
@@ -129,18 +139,19 @@ func New(cfg topology.Config, opts Options) (*Study, error) {
 
 // Fleet returns the campaign executor sharding-invariant experiments
 // probe through: the shared-engine Campaign when Opts resolves to one
-// shard, otherwise a lazily built ParallelCampaign over the same config
-// and seed. Experiments that measure cross-VP contention (Figure 4)
-// must keep using s.Camp directly — see measure.ParallelCampaign's
-// determinism contract.
+// shard, otherwise a lazily built ParallelCampaign whose replicas are
+// cloned from this study's own topology snapshot — the Build New
+// already paid is never repeated. Experiments that measure cross-VP
+// contention (Figure 4) must keep using s.Camp directly — see
+// measure.ParallelCampaign's determinism contract.
 func (s *Study) Fleet() measure.Fleet {
 	if s.fleet == nil {
 		if k := s.Opts.shards(); k <= 1 {
 			s.fleet = s.Camp
 		} else {
-			pc, err := measure.NewParallelCampaign(s.cfg, k)
+			pc, err := measure.NewParallelCampaignFrom(s.Topo, k)
 			if err != nil {
-				panic(err) // k >= 2 here; NewParallelCampaign rejects only k < 1
+				panic(err) // k >= 2 here; NewParallelCampaignFrom rejects only k < 1
 			}
 			s.fleet = pc
 		}

@@ -22,16 +22,29 @@ func Build(cfg Config) (*Topology, error) {
 	assignPolicies(cfg, ases, rng)
 	routes := ComputeRoutes(graph)
 
+	// Exact totals are known before any map fills, so size them up front:
+	// at large scale these maps hold 10⁵+ entries and incremental growth
+	// dominates build time otherwise.
+	totalPrefixes, totalRouters, links := 0, 0, 0
+	for i, a := range ases {
+		totalPrefixes += a.NumPrefixes
+		totalRouters += a.NumRouters
+		links += len(graph.Neighbors(i))
+	}
+	links = links/2 + totalRouters - len(ases) // inter-AS + intra-AS tree
+	numVPs := cfg.NumMLab + cfg.NumPlanetLab + len(cfg.CloudNames)
+	hosts := totalPrefixes + totalPrefixes/8 + numVPs // destinations + occasional aliases + VPs
+
 	t := &Topology{
 		Cfg:        cfg,
 		Net:        netsim.New(),
 		Graph:      graph,
 		Routes:     routes,
 		ASes:       ases,
-		hostIface:  make(map[netip.Addr]*netsim.Iface),
-		hostAttach: make(map[netip.Addr]int),
-		routerAddr: make(map[netip.Addr]int),
-		destByAddr: make(map[netip.Addr]*Dest),
+		hostIface:  make(map[netip.Addr]*netsim.Iface, hosts),
+		hostAttach: make(map[netip.Addr]int, hosts),
+		routerAddr: make(map[netip.Addr]int, 2*links+totalPrefixes+numVPs),
+		destByAddr: make(map[netip.Addr]int32, totalPrefixes),
 	}
 
 	plans := make([]*asPlan, len(ases))
@@ -108,11 +121,22 @@ func (t *Topology) routerBehavior(a *AS, rng *rand.Rand) netsim.RouterBehavior {
 
 func (t *Topology) buildRouters(rng *rand.Rand) {
 	t.Routers = make([][]*netsim.Router, len(t.ASes))
-	t.routerIndex = make(map[*netsim.Router][2]int)
+	total := 0
+	for _, a := range t.ASes {
+		total += a.NumRouters
+	}
+	t.routerIndex = make(map[*netsim.Router][2]int, total)
 	for i, a := range t.ASes {
 		rs := make([]*netsim.Router, a.NumRouters)
+		// Connected /32 routes per router: tree links plus this AS's share
+		// of destination attachments; border links add a few more.
+		fibHint := 4
+		if a.NumRouters > 0 {
+			fibHint += a.NumPrefixes / a.NumRouters
+		}
 		for j := range rs {
 			rs[j] = t.Net.AddRouter(fmt.Sprintf("as%d-r%d", i, j), t.routerBehavior(a, rng))
+			rs[j].FIB().Grow(fibHint)
 			t.routerIndex[rs[j]] = [2]int{i, j}
 		}
 		t.Routers[i] = rs
@@ -312,7 +336,7 @@ func (t *Topology) buildDests(plans []*asPlan, rng *rand.Rand) {
 			}
 			d.Host = host
 			t.Dests = append(t.Dests, d)
-			t.destByAddr[d.Addr] = d
+			t.destByAddr[d.Addr] = int32(len(t.Dests) - 1)
 		}
 	}
 }

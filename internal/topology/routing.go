@@ -98,10 +98,17 @@ const (
 // policy-compliant route toward dst. nh[dst] = dst; unreachable ASes get
 // -1. The companion class and dist slices describe the selected route.
 func (g *Graph) NextHops(dst int) (nh []int32, class []int8, dist []int32) {
+	nh = make([]int32, g.n)
+	class = make([]int8, g.n)
+	dist = make([]int32, g.n)
+	g.nextHopsInto(dst, nh, class, dist)
+	return nh, class, dist
+}
+
+// nextHopsInto is NextHops writing into caller-provided slices of length
+// g.n, so all-pairs computations can reuse scratch across destinations.
+func (g *Graph) nextHopsInto(dst int, nh []int32, class []int8, dist []int32) {
 	n := g.n
-	nh = make([]int32, n)
-	class = make([]int8, n)
-	dist = make([]int32, n)
 	for i := range nh {
 		nh[i] = -1
 		class[i] = classNone
@@ -227,7 +234,6 @@ func (g *Graph) NextHops(dst int) (nh []int32, class []int8, dist []int32) {
 			dist[a] = -1
 		}
 	}
-	return nh, class, dist
 }
 
 // dedupInts removes duplicates preserving first occurrence order.
@@ -250,12 +256,18 @@ type Routes struct {
 	Next [][]int32
 }
 
-// ComputeRoutes builds the full next-hop matrix.
+// ComputeRoutes builds the full next-hop matrix. All rows share one flat
+// n×n backing array — one allocation instead of n — and the per-
+// destination class/dist scratch is reused across iterations.
 func ComputeRoutes(g *Graph) *Routes {
 	r := &Routes{g: g, Next: make([][]int32, g.n)}
+	flat := make([]int32, g.n*g.n)
+	class := make([]int8, g.n)
+	dist := make([]int32, g.n)
 	for d := 0; d < g.n; d++ {
-		nh, _, _ := g.NextHops(d)
-		r.Next[d] = nh
+		row := flat[d*g.n : (d+1)*g.n : (d+1)*g.n]
+		g.nextHopsInto(d, row, class, dist)
+		r.Next[d] = row
 	}
 	return r
 }

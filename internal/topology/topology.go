@@ -103,7 +103,7 @@ type Topology struct {
 	borderIface []map[int]*netsim.Iface
 	borderIdx   []map[int]int
 
-	destByAddr  map[netip.Addr]*Dest
+	destByAddr  map[netip.Addr]int32      // addr → index in Dests (shared by clones)
 	routerIndex map[*netsim.Router][2]int // router → (AS index, router index)
 }
 
@@ -172,7 +172,12 @@ func (t *Topology) ASNOf(a netip.Addr) int {
 }
 
 // DestByAddr returns the destination record probed at a, or nil.
-func (t *Topology) DestByAddr(a netip.Addr) *Dest { return t.destByAddr[a] }
+func (t *Topology) DestByAddr(a netip.Addr) *Dest {
+	if i, ok := t.destByAddr[a]; ok {
+		return t.Dests[i]
+	}
+	return nil
+}
 
 // VPByName returns the named vantage point (including clouds), or nil.
 func (t *Topology) VPByName(name string) *VP {

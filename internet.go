@@ -32,9 +32,18 @@ func New(opts ...Option) (*Internet, error) {
 	if err := validateScale(o.scale); err != nil {
 		return nil, err
 	}
+	var profile topology.ScaleProfile
+	if o.profile != "" {
+		p, err := topology.ParseScale(o.profile)
+		if err != nil {
+			return nil, err
+		}
+		profile = p
+	}
 	st, err := study.New(cfg, study.Options{
 		Rate: o.rate, Timeout: o.timeout, Shards: o.shards,
 		Retries: o.retries, Adaptive: o.retries > 0,
+		Scale: profile,
 	})
 	if err != nil {
 		return nil, err

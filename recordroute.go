@@ -45,6 +45,7 @@ const (
 type options struct {
 	epoch   Epoch
 	scale   float64
+	profile string
 	seed    uint64
 	rate    float64
 	timeout time.Duration
@@ -80,11 +81,11 @@ type FaultProfile struct {
 	OutageSpread, OutageFor time.Duration
 	// SuppressFrac of routers mute ICMP errors SuppressFor out of every
 	// SuppressPeriod.
-	SuppressFrac               float64
+	SuppressFrac                float64
 	SuppressPeriod, SuppressFor time.Duration
 	// WithdrawFrac of destination prefixes are transiently withdrawn at
 	// their attachment router WithdrawFor out of every WithdrawPeriod.
-	WithdrawFrac                 float64
+	WithdrawFrac                float64
 	WithdrawPeriod, WithdrawFor time.Duration
 }
 
@@ -118,6 +119,12 @@ func WithEpoch(e Epoch) Option { return func(o *options) { o.epoch = e } }
 // WithScale multiplies the default topology size (1.0 ≈ 1/100 of the
 // paper's scale; tests typically use 0.15–0.3).
 func WithScale(f float64) Option { return func(o *options) { o.scale = f } }
+
+// WithScaleProfile selects a named topology size — "small", "medium",
+// or "large" (10⁵+ advertised prefixes, approaching the paper's hitlist
+// magnitude) — overriding WithScale. Large topologies are built once
+// and replicated by snapshot cloning when sharded; see WithShards.
+func WithScaleProfile(name string) Option { return func(o *options) { o.profile = name } }
 
 // WithSeed fixes all randomness; equal seeds give identical Internets.
 func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
