@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-guard bench-metrics bench-all race study fuzz cover examples clean
+.PHONY: all build test vet bench bench-guard bench-metrics bench-all race study serve fuzz cover examples clean
 
 all: build test
 
@@ -51,14 +51,19 @@ bench-metrics:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# Race-check the concurrent layers: the sharded campaign executor and
-# the simulator substrate it runs replicas of.
+# Race-check the concurrent layers: the sharded campaign executor, the
+# simulator substrate it runs replicas of, and the campaign service.
 race:
-	$(GO) test -race ./internal/measure/... ./internal/netsim/... ./internal/study/... ./internal/probe/...
+	$(GO) test -race ./internal/measure/... ./internal/netsim/... ./internal/study/... ./internal/probe/... ./internal/server/...
 
 # Reproduce every table and figure at full default scale (~30 s).
 study:
 	$(GO) run ./cmd/rrstudy
+
+# Run the campaign service daemon (submit jobs with curl; see
+# README "Campaign service" and DESIGN.md §11).
+serve:
+	$(GO) run ./cmd/rrstudyd
 
 # Short fuzzing passes over the packet decoders and the FIB.
 fuzz:

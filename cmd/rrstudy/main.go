@@ -80,6 +80,8 @@ func main() {
 		chaosRetries = flag.Int("chaos-retries", 2, "chaos: recovery-arm retransmission budget")
 
 		shards     = flag.Int("shards", 0, "campaign shard count for sharding-invariant experiments (0 = GOMAXPROCS, 1 = single shared engine)")
+		journal    = flag.String("journal", "", "checkpoint the campaign to this JSONL journal: completed per-VP batches stream to it as they finish")
+		resume     = flag.Bool("resume", false, "with -journal: skip the batches the journal already holds and continue a killed run")
 		metricsOut = flag.String("metrics", "", "write a metrics snapshot (per-shard counters + deterministic merge) to this JSON file")
 		traceSpec  = flag.String("trace", "", "attach an event trace: dst=<ip or prefix> follows probes to matching destinations, vp=<name> follows one VP's probe lifecycle")
 		traceOut   = flag.String("trace-out", "trace.jsonl", "file the -trace events are written to, as JSON lines")
@@ -101,6 +103,12 @@ func main() {
 	)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *journal != "" {
+		if err := inet.AttachJournal(*journal, *resume); err != nil {
+			log.Fatal(err)
+		}
+		defer inet.CloseJournal()
 	}
 	var trace *recordroute.TraceHandle
 	if *traceSpec != "" {

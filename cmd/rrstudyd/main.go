@@ -1,0 +1,87 @@
+// Command rrstudyd is the campaign service daemon: it accepts study
+// jobs over HTTP, executes them on a bounded worker pool against a
+// frozen-plane topology cache, streams per-VP results as JSON lines
+// while campaigns run, and checkpoints every job to a journal so a
+// killed campaign resumes instead of restarting.
+//
+// Usage:
+//
+//	rrstudyd [-addr :8080] [-workers 2] [-queue 16] [-cache 4] [-data DIR]
+//
+// Endpoints:
+//
+//	POST /jobs                submit {"experiment":"table1","scale":0.25,...}
+//	GET  /jobs/{id}           status + progress
+//	GET  /jobs/{id}/stream    live JSONL result stream
+//	GET  /jobs/{id}/render    the finished table
+//	GET  /metrics             Prometheus text format
+//	GET  /healthz             liveness
+//
+// Submissions beyond the queue capacity are refused with 503 (and a
+// Retry-After), so a flood degrades into backpressure rather than
+// memory growth. SIGTERM/SIGINT drain gracefully: accepted jobs finish,
+// new ones are refused, then the listener closes. A SIGKILL mid-run is
+// also safe — each job's journal keeps its completed batches, and
+// resubmitting with {"journal": "<path>", "resume": true} picks up
+// where it stopped (DESIGN.md §11).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"recordroute/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rrstudyd: ")
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		workers = flag.Int("workers", 2, "campaigns executed concurrently")
+		queue   = flag.Int("queue", 16, "accepted-but-not-running jobs before submissions get 503")
+		cache   = flag.Int("cache", 4, "frozen topology planes kept (distinct configs)")
+		data    = flag.String("data", "", "journal directory (default: <tmp>/rrstudyd)")
+	)
+	flag.Parse()
+
+	svc, err := server.New(server.Config{
+		Workers:  *workers,
+		QueueCap: *queue,
+		CacheCap: *cache,
+		DataDir:  *data,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("%v: draining (accepted jobs finish, new ones get 503)", s)
+		svc.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		log.Print("drained")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package measure
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"recordroute/internal/probe"
+	"recordroute/internal/results"
+)
+
+// DefaultQuantum is the virtual-time width of one journaled campaign
+// phase. Journaled fleets advance every shard clock to the next quantum
+// boundary after each phase, so phase p always starts at exactly p·Q —
+// in the original run, and again in a resumed one, regardless of how
+// much of the phase the original run completed. That pins every
+// clock-derived draw (fault windows, per-packet fault keys) to the same
+// values both times, which is what makes resume byte-identical
+// (DESIGN.md §11). Virtual time is free: advancing an idle clock costs
+// nothing. The quantum only needs to exceed the longest phase's drain
+// time; endPhase asserts that loudly rather than corrupting the
+// alignment.
+const DefaultQuantum = time.Hour
+
+// JournalMeta identifies the campaign a journal belongs to: the
+// topology digest (seed, scale, epoch, faults — everything that shapes
+// the world) plus every RNG-relevant campaign option. Resuming against
+// a journal whose meta differs is refused — replaying another
+// campaign's completed VPs would silently mix incompatible streams.
+type JournalMeta struct {
+	Digest      string        `json:"digest"`
+	Shards      int           `json:"shards"`
+	Quantum     time.Duration `json:"quantum_ns"`
+	Rate        float64       `json:"rate"`
+	Timeout     time.Duration `json:"timeout_ns"`
+	ShuffleSeed uint64        `json:"shuffle_seed"`
+	Retries     int           `json:"retries"`
+	Adaptive    bool          `json:"adaptive"`
+}
+
+// journalLine is one JSONL record of a campaign journal. The first
+// line is always the meta record; each journaled phase writes one
+// phase record when it begins, and one vp record per completed VP
+// batch — the incremental result sink. A killed campaign leaves a
+// journal that is valid up to its last complete line.
+type journalLine struct {
+	T       string           `json:"t"` // "meta" | "phase" | "vp"
+	Meta    *JournalMeta     `json:"meta,omitempty"`
+	Phase   int              `json:"phase"`
+	Kind    string           `json:"kind,omitempty"`
+	VP      string           `json:"vp,omitempty"`
+	Results []results.Wire   `json:"results,omitempty"`
+	Groups  [][]results.Wire `json:"groups,omitempty"`
+}
+
+// archivedVP is one completed VP batch loaded from a resumed journal.
+type archivedVP struct {
+	kind    string
+	results []probe.Result
+	groups  [][]probe.Result
+}
+
+// Journal is a campaign's incremental result sink and checkpoint: it
+// streams every completed per-VP batch to disk as a JSONL line and, on
+// resume, hands completed batches back so the fleet skips re-probing
+// them. Attach one to a ParallelCampaign before its first primitive.
+// Methods are safe for concurrent use from shard workers.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	enc  *json.Encoder
+	meta JournalMeta
+
+	phase      int // next phase index to hand out
+	phaseKinds map[int]string
+	archived   map[string]*archivedVP // "phase|vp" → completed batch
+	sink       func(vp string, rs []probe.Result)
+}
+
+func vpKey(phase int, vp string) string { return fmt.Sprintf("%d|%s", phase, vp) }
+
+// CreateJournal starts a fresh journal at path (truncating any previous
+// one) and writes the meta record.
+func CreateJournal(path string, meta JournalMeta) (*Journal, error) {
+	if meta.Quantum <= 0 {
+		meta.Quantum = DefaultQuantum
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := newJournal(f, meta)
+	if err := j.enc.Encode(journalLine{T: "meta", Meta: &meta}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// ResumeJournal loads the journal at path and prepares it for the
+// campaign to continue: completed VP batches become the archive the
+// fleet skips, a trailing partial line (the usual wound of a kill) is
+// discarded, and further records append after the last complete one.
+// The stored meta must equal the caller's — a digest or option
+// mismatch means the journal belongs to a different campaign and is
+// refused. A missing file degrades to CreateJournal, so "resume" is
+// safe to use unconditionally.
+func ResumeJournal(path string, meta JournalMeta) (*Journal, error) {
+	if meta.Quantum <= 0 {
+		meta.Quantum = DefaultQuantum
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return CreateJournal(path, meta)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	j := newJournal(nil, meta)
+	sawMeta := false
+	valid := 0 // byte offset after the last fully-parsed line
+	for off := 0; off < len(data); {
+		nl := -1
+		for i := off; i < len(data); i++ {
+			if data[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break // trailing partial line: discard
+		}
+		line := data[off:nl]
+		off = nl + 1
+		if len(line) == 0 {
+			valid = off
+			continue
+		}
+		var rec journalLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // corrupt line: keep only the prefix before it
+		}
+		switch rec.T {
+		case "meta":
+			if rec.Meta == nil || *rec.Meta != meta {
+				return nil, fmt.Errorf("measure: journal %s belongs to a different campaign (meta %+v, want %+v)",
+					path, rec.Meta, meta)
+			}
+			sawMeta = true
+		case "phase":
+			j.phaseKinds[rec.Phase] = rec.Kind
+		case "vp":
+			a := &archivedVP{kind: rec.Kind}
+			for _, w := range rec.Results {
+				a.results = append(a.results, w.Result())
+			}
+			for _, g := range rec.Groups {
+				var rs []probe.Result
+				for _, w := range g {
+					rs = append(rs, w.Result())
+				}
+				a.groups = append(a.groups, rs)
+			}
+			j.archived[vpKey(rec.Phase, rec.VP)] = a
+		default:
+			return nil, fmt.Errorf("measure: journal %s: unknown record type %q", path, rec.T)
+		}
+		valid = off
+	}
+	if !sawMeta {
+		// Nothing usable (empty file or a cut within the meta line):
+		// start over.
+		return CreateJournal(path, meta)
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.f = f
+	j.enc = json.NewEncoder(f)
+	return j, nil
+}
+
+func newJournal(f *os.File, meta JournalMeta) *Journal {
+	j := &Journal{
+		f:          f,
+		meta:       meta,
+		phaseKinds: make(map[int]string),
+		archived:   make(map[string]*archivedVP),
+	}
+	if f != nil {
+		j.enc = json.NewEncoder(f)
+	}
+	return j
+}
+
+// Meta returns the journal's campaign identity.
+func (j *Journal) Meta() JournalMeta { return j.meta }
+
+// Quantum returns the phase quantum.
+func (j *Journal) Quantum() time.Duration { return j.meta.Quantum }
+
+// Archived returns how many completed VP batches the journal carried
+// in from a previous run.
+func (j *Journal) Archived() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.archived)
+}
+
+// SetSink installs fn as the live streaming observer: it is called
+// once per freshly completed VP batch (archived batches replayed from
+// a previous run are not re-streamed), serialized under the journal
+// lock.
+func (j *Journal) SetSink(fn func(vp string, rs []probe.Result)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sink = fn
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// beginPhase opens the next journaled phase and returns its index. A
+// resumed journal knows what kind each phase had: a mismatch means the
+// resumed process is running a different workload against the journal,
+// which would mis-align every later phase — that is a programming
+// error, reported loudly.
+func (j *Journal) beginPhase(kind string) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p := j.phase
+	j.phase++
+	if prev, ok := j.phaseKinds[p]; ok {
+		if prev != kind {
+			panic(fmt.Sprintf("measure: journal resume mismatch: phase %d was %q, replay runs %q", p, prev, kind))
+		}
+	} else {
+		j.phaseKinds[p] = kind
+		if j.enc != nil {
+			if err := j.enc.Encode(journalLine{T: "phase", Phase: p, Kind: kind}); err != nil {
+				panic(fmt.Sprintf("measure: journal write: %v", err))
+			}
+		}
+	}
+	return p
+}
+
+// archivedResults returns the completed flat batch for (phase, vp)
+// from a resumed journal, if present.
+func (j *Journal) archivedResults(phase int, vp string) ([]probe.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	a := j.archived[vpKey(phase, vp)]
+	if a == nil || a.groups != nil {
+		return nil, false
+	}
+	return a.results, true
+}
+
+// archivedGroups is archivedResults for grouped (PingAll) batches.
+func (j *Journal) archivedGroups(phase int, vp string) ([][]probe.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	a := j.archived[vpKey(phase, vp)]
+	if a == nil || a.groups == nil {
+		return nil, false
+	}
+	return a.groups, true
+}
+
+// recordResults journals one freshly completed flat VP batch and feeds
+// the streaming sink.
+func (j *Journal) recordResults(phase int, kind, vp string, rs []probe.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	line := journalLine{T: "vp", Phase: phase, Kind: kind, VP: vp, Results: make([]results.Wire, len(rs))}
+	for i, r := range rs {
+		line.Results[i] = results.ToWire(r)
+	}
+	j.encode(line)
+	if j.sink != nil {
+		j.sink(vp, rs)
+	}
+}
+
+// recordGroups journals one freshly completed grouped VP batch.
+func (j *Journal) recordGroups(phase int, kind, vp string, gs [][]probe.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	line := journalLine{T: "vp", Phase: phase, Kind: kind, VP: vp, Groups: make([][]results.Wire, len(gs))}
+	var flat []probe.Result
+	for i, g := range gs {
+		ws := make([]results.Wire, len(g))
+		for k, r := range g {
+			ws[k] = results.ToWire(r)
+		}
+		line.Groups[i] = ws
+		flat = append(flat, g...)
+	}
+	j.encode(line)
+	if j.sink != nil {
+		j.sink(vp, flat)
+	}
+}
+
+// encode writes one record; journal I/O failures abort the campaign
+// loudly rather than silently dropping checkpoint data.
+func (j *Journal) encode(line journalLine) {
+	if j.enc == nil {
+		return
+	}
+	if err := j.enc.Encode(line); err != nil {
+		panic(fmt.Sprintf("measure: journal write: %v", err))
+	}
+}

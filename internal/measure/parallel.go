@@ -51,6 +51,7 @@ type ParallelCampaign struct {
 	vpNames   []string       // campaign order, as the sequential path sees it
 
 	observer *obs.Observer // applied to each replica at init; nil observes nothing
+	journal  *Journal      // nil unless the campaign is journaled
 }
 
 // Both executors satisfy the Fleet surface.
@@ -115,6 +116,16 @@ func NewParallelCampaignFrom(src *topology.Topology, shards int) (*ParallelCampa
 	}
 	return &ParallelCampaign{cfg: src.Cfg, src: src, shards: shards}, nil
 }
+
+// AttachJournal makes the campaign journaled: every primitive becomes
+// one quantized phase whose completed per-VP batches stream to j, and
+// batches j already carries (from a resumed run) are skipped instead of
+// re-probed. Must be called before the first primitive — the phase
+// numbering starts at the campaign's first event.
+func (pc *ParallelCampaign) AttachJournal(j *Journal) { pc.journal = j }
+
+// Journal returns the attached journal, or nil.
+func (pc *ParallelCampaign) Journal() *Journal { return pc.journal }
 
 // NumShards returns the shard count the campaign will use (clamped to
 // the VP count once built).
@@ -294,12 +305,95 @@ func (pc *ParallelCampaign) syncClocks() {
 	}
 }
 
+// beginPhase opens a journal phase for one primitive; journaled
+// reports whether the campaign is journaled at all.
+func (pc *ParallelCampaign) beginPhase(kind string) (phase int, journaled bool) {
+	if pc.journal == nil {
+		return 0, false
+	}
+	return pc.journal.beginPhase(kind), true
+}
+
+// endPhase quantizes a journaled phase's end: every live shard clock is
+// advanced to the next quantum boundary, so the following phase starts
+// at exactly (phase+1)·Quantum in this run and in any resumed replay of
+// it — the alignment the resume-equals-uninterrupted property rests on
+// (clock-derived fault draws see identical times both ways). A phase
+// draining past its boundary means the quantum is too small for the
+// workload; that corrupts the alignment silently, so it panics instead.
+func (pc *ParallelCampaign) endPhase(phase int, journaled bool) {
+	if !journaled {
+		return
+	}
+	boundary := time.Duration(phase+1) * pc.journal.Quantum()
+	for i, rep := range pc.replicas {
+		if rep.dead {
+			continue
+		}
+		if now := rep.eng.Now(); now > boundary {
+			panic(fmt.Sprintf("measure: journal quantum %v too small: shard %d drained phase %d at t=%v",
+				pc.journal.Quantum(), i, phase, now))
+		}
+	}
+	for _, rep := range pc.replicas {
+		if rep.dead {
+			continue
+		}
+		rep.eng.RunUntil(boundary)
+	}
+}
+
+// archivedFlat pre-fills out with the batches the journal already
+// carries for this phase and returns the VP names to skip. Dead-shard
+// VPs benefit too: their archived batches are restored even though
+// their replica will never run again.
+func (pc *ParallelCampaign) archivedFlat(phase int, journaled bool, out map[string][]probe.Result) map[string]bool {
+	if !journaled {
+		return nil
+	}
+	skip := make(map[string]bool)
+	for _, name := range pc.vpNames {
+		if rs, ok := pc.journal.archivedResults(phase, name); ok {
+			out[name] = rs
+			skip[name] = true
+			pc.replaySeqs(name, consumedSeqs(rs))
+		}
+	}
+	return skip
+}
+
+// consumedSeqs counts the sequence numbers a completed batch allocated:
+// one per attempt actually sent (retransmissions get fresh seqs).
+func consumedSeqs(rs []probe.Result) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Attempts
+	}
+	return n
+}
+
+// replaySeqs advances a VP's prober sequence counter past an archived
+// batch. Probe wire images carry the seq and per-packet fault draws are
+// content-keyed on them, so every VP must enter a re-executed phase
+// with the counter position the original run had there — otherwise a
+// fault plan would draw different packet fates on resume.
+func (pc *ParallelCampaign) replaySeqs(name string, n int) {
+	if vp := pc.VP(name); vp != nil {
+		vp.Prober.SkipSeqs(n)
+	}
+}
+
 // Run drains every shard engine on the worker pool and re-synchronizes
-// the fleet clocks.
+// the fleet clocks. On a journaled campaign the drain is a phase of its
+// own: probes started directly on VPs (origin batches, alias collects)
+// are cheap single-VP work that a resumed run deterministically
+// re-executes rather than archives.
 func (pc *ParallelCampaign) Run() {
 	pc.mustInit()
+	phase, journaled := pc.beginPhase("run")
 	pc.eachShard(func(rep *replica) { rep.eng.Run() })
 	pc.syncClocks()
+	pc.endPhase(phase, journaled)
 }
 
 // PingRRAll sends one ping-RR from every VP to every destination, each
@@ -308,11 +402,16 @@ func (pc *ParallelCampaign) Run() {
 // content Campaign.PingRRAll produces.
 func (pc *ParallelCampaign) PingRRAll(dests []netip.Addr, opts probe.Options, orderFor func(vp string, dests []netip.Addr) []netip.Addr) map[string][]probe.Result {
 	pc.mustInit()
+	phase, journaled := pc.beginPhase("ping-rr-all")
 	out := make(map[string][]probe.Result, len(pc.vpNames))
+	skip := pc.archivedFlat(phase, journaled, out)
 	var mu sync.Mutex
 	pc.eachShard(func(rep *replica) {
 		for _, vp := range rep.vps {
 			vp := vp
+			if skip[vp.Name] {
+				continue
+			}
 			ds := dests
 			if orderFor != nil {
 				ds = orderFor(vp.Name, dests)
@@ -321,42 +420,74 @@ func (pc *ParallelCampaign) PingRRAll(dests []netip.Addr, opts probe.Options, or
 				mu.Lock()
 				out[vp.Name] = rs
 				mu.Unlock()
+				if journaled {
+					pc.journal.recordResults(phase, "ping-rr-all", vp.Name, rs)
+				}
 			})
 		}
 		rep.eng.Run()
 	})
 	pc.syncClocks()
+	pc.endPhase(phase, journaled)
 	return out
 }
 
 // PingAll sends count plain pings per destination from every VP.
 func (pc *ParallelCampaign) PingAll(dests []netip.Addr, count int, opts probe.Options) map[string][][]probe.Result {
 	pc.mustInit()
+	phase, journaled := pc.beginPhase("ping-all")
 	out := make(map[string][][]probe.Result, len(pc.vpNames))
+	var skip map[string]bool
+	if journaled {
+		skip = make(map[string]bool)
+		for _, name := range pc.vpNames {
+			if gs, ok := pc.journal.archivedGroups(phase, name); ok {
+				out[name] = gs
+				skip[name] = true
+				n := 0
+				for _, g := range gs {
+					n += consumedSeqs(g)
+				}
+				pc.replaySeqs(name, n)
+			}
+		}
+	}
 	var mu sync.Mutex
 	pc.eachShard(func(rep *replica) {
 		for _, vp := range rep.vps {
 			vp := vp
+			if skip[vp.Name] {
+				continue
+			}
 			vp.PingBatch(dests, count, opts, func(rs [][]probe.Result) {
 				mu.Lock()
 				out[vp.Name] = rs
 				mu.Unlock()
+				if journaled {
+					pc.journal.recordGroups(phase, "ping-all", vp.Name, rs)
+				}
 			})
 		}
 		rep.eng.Run()
 	})
 	pc.syncClocks()
+	pc.endPhase(phase, journaled)
 	return out
 }
 
 // PingRRUDPAll sends one ping-RRudp from every VP to its listed targets.
 func (pc *ParallelCampaign) PingRRUDPAll(perVP map[string][]netip.Addr, opts probe.Options) map[string][]probe.Result {
 	pc.mustInit()
+	phase, journaled := pc.beginPhase("ping-rr-udp-all")
 	out := make(map[string][]probe.Result, len(perVP))
+	skip := pc.archivedFlat(phase, journaled, out)
 	var mu sync.Mutex
 	pc.eachShard(func(rep *replica) {
 		for _, vp := range rep.vps {
 			vp := vp
+			if skip[vp.Name] {
+				continue
+			}
 			ds := perVP[vp.Name]
 			if len(ds) == 0 {
 				continue
@@ -365,10 +496,14 @@ func (pc *ParallelCampaign) PingRRUDPAll(perVP map[string][]netip.Addr, opts pro
 				mu.Lock()
 				out[vp.Name] = rs
 				mu.Unlock()
+				if journaled {
+					pc.journal.recordResults(phase, "ping-rr-udp-all", vp.Name, rs)
+				}
 			})
 		}
 		rep.eng.Run()
 	})
 	pc.syncClocks()
+	pc.endPhase(phase, journaled)
 	return out
 }

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), written directly:
+// the daemon's /metrics endpoint serves campaign counters and service
+// gauges to any Prometheus-compatible scraper without importing a
+// client library. Only the small subset the service needs is
+// implemented — gauge and counter families with optional labels —
+// rendered with deterministic family and sample ordering so equal
+// states serialize byte-identically (the same property the JSON
+// snapshots have).
+
+// PromSample is one time series of a family: a label set and a value.
+type PromSample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one metric family: name, help text, type ("gauge" or
+// "counter"), and its samples.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// promName sanitizes s into a legal Prometheus metric-name fragment:
+// every character outside [a-zA-Z0-9_:] becomes '_'. Counter registry
+// names like "icmp.echo_request.sent" turn into
+// "icmp_echo_request_sent".
+func promName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set in sorted key order, with label values
+// escaped per the exposition format (backslash, quote, newline).
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := labels[k]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		fmt.Fprintf(&b, `%s="%s"`, promName(k), v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm renders the families in the text exposition format, sorted
+// by family name, each family's samples sorted by rendered label set.
+func WriteProm(w io.Writer, fams []PromFamily) error {
+	sorted := append([]PromFamily(nil), fams...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, f := range sorted {
+		name := promName(f.Name)
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, f.Help); err != nil {
+				return err
+			}
+		}
+		typ := f.Type
+		if typ == "" {
+			typ = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		samples := append([]PromSample(nil), f.Samples...)
+		sort.Slice(samples, func(i, j int) bool {
+			return promLabels(samples[i].Labels) < promLabels(samples[j].Labels)
+		})
+		for _, s := range samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, promLabels(s.Labels), promFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promFloat renders integral values without an exponent or decimal
+// point — counter registries are uint64 and scrape nicer as integers —
+// and falls back to %g otherwise.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// PromFamilies converts a snapshot's counters to Prometheus counter
+// families, one per registry counter, prefixed (e.g. "rrstudy_"). Each
+// family carries one sample per shard plus the shard-invariant merged
+// total labeled shard="merged".
+func (s *Snapshot) PromFamilies(prefix string) []PromFamily {
+	byName := make(map[string]*PromFamily)
+	get := func(counter string) *PromFamily {
+		f, ok := byName[counter]
+		if !ok {
+			f = &PromFamily{
+				Name: prefix + promName(counter),
+				Help: fmt.Sprintf("simulator counter %s", counter),
+				Type: "counter",
+			}
+			byName[counter] = f
+		}
+		return f
+	}
+	for _, sm := range s.Shards {
+		for k, v := range sm.Counters {
+			get(k).Samples = append(get(k).Samples, PromSample{
+				Labels: map[string]string{"shard": sm.Shard}, Value: float64(v)})
+		}
+	}
+	for k, v := range s.Merged {
+		get(k).Samples = append(get(k).Samples, PromSample{
+			Labels: map[string]string{"shard": "merged"}, Value: float64(v)})
+	}
+	out := make([]PromFamily, 0, len(byName))
+	for _, f := range byName {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePromFormat pins the exposition format: HELP/TYPE headers,
+// sorted families, sorted and escaped label sets, integral rendering.
+func TestWritePromFormat(t *testing.T) {
+	fams := []PromFamily{
+		{
+			Name: "rrstudyd_queue_depth", Help: "jobs waiting", Type: "gauge",
+			Samples: []PromSample{{Value: 3}},
+		},
+		{
+			Name: "rrstudyd_job_progress", Help: "completed VP batches", Type: "gauge",
+			Samples: []PromSample{
+				{Labels: map[string]string{"job": "j2"}, Value: 0.5},
+				{Labels: map[string]string{"job": `j"1`}, Value: 7},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, fams); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP rrstudyd_job_progress completed VP batches",
+		"# TYPE rrstudyd_job_progress gauge",
+		`rrstudyd_job_progress{job="j2"} 0.5`,
+		`rrstudyd_job_progress{job="j\"1"} 7`,
+		"# HELP rrstudyd_queue_depth jobs waiting",
+		"# TYPE rrstudyd_queue_depth gauge",
+		"rrstudyd_queue_depth 3",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition differs:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPromNameSanitizes: registry counter names (dotted) and arbitrary
+// label keys must collapse to the legal character set.
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"icmp.echo_request.sent": "icmp_echo_request_sent",
+		"9lives":                 "_9lives",
+		"ok_name:sub":            "ok_name:sub",
+		"sp ace-dash":            "sp_ace_dash",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSnapshotPromFamilies: counter snapshots export one family per
+// counter with per-shard samples plus the merged total, deterministic
+// across calls.
+func TestSnapshotPromFamilies(t *testing.T) {
+	snap := NewSnapshot("campaign",
+		ShardMetrics{Shard: "shard0", Counters: Counters{"icmp.sent": 10, "pkt.forwarded": 100}},
+		ShardMetrics{Shard: "shard1", Counters: Counters{"icmp.sent": 7}},
+	)
+	fams := snap.PromFamilies("rrstudy_")
+	if len(fams) != 2 {
+		t.Fatalf("%d families, want 2", len(fams))
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := WriteProm(&buf1, fams); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProm(&buf2, snap.PromFamilies("rrstudy_")); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Error("two renders of the same snapshot differ")
+	}
+	out := buf1.String()
+	for _, line := range []string{
+		`rrstudy_icmp_sent{shard="shard0"} 10`,
+		`rrstudy_icmp_sent{shard="shard1"} 7`,
+		`rrstudy_icmp_sent{shard="merged"} 17`,
+		`rrstudy_pkt_forwarded{shard="merged"} 100`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}

@@ -301,9 +301,23 @@ func (p *Prober) resolveOp(op *probeOp) {
 	}
 }
 
+// SendWindow bounds how many batch send events sit in the event heap at
+// once: launch i enqueues launch i+SendWindow, so StartBatch holds at
+// most SendWindow send closures regardless of batch size — previously
+// the entire batch was enqueued upfront, ~100k heap entries per VP
+// batch at the large scale profile.
+const SendWindow = 64
+
 // StartBatch paces the probes out in order at opts.Rate and calls done
 // once with results in spec order after every probe has resolved. This
 // is the path that honors opts.Retries and opts.Adaptive.
+//
+// Sends are windowed, not enqueued upfront: each launch chains its
+// i+SendWindow successor. Because launch i fires at exactly
+// t0 + i*interval on the integer-nanosecond virtual clock, the chained
+// successor lands at exactly t0 + (i+SendWindow)*interval — pacing is
+// byte-identical to the upfront schedule, and the adaptive timeout is
+// still evaluated at each probe's send time.
 func (p *Prober) StartBatch(specs []Spec, opts Options, done func([]Result)) {
 	if len(specs) == 0 {
 		p.tr.Schedule(0, func() { done(nil) })
@@ -312,38 +326,53 @@ func (p *Prober) StartBatch(specs []Spec, opts Options, done func([]Result)) {
 	results := make([]Result, len(specs))
 	remaining := len(specs)
 	interval := time.Duration(float64(time.Second) / opts.rate())
-	for i, spec := range specs {
-		i, spec := i, spec
-		p.tr.Schedule(time.Duration(i)*interval, func() {
-			// The adaptive timeout is evaluated at send time, so the
-			// estimator warms up over the batch.
-			p.start(spec, opts.attempts(), p.adaptiveTimeout(opts), func(r Result) {
-				results[i] = r
-				remaining--
-				if remaining == 0 {
-					done(results)
-				}
-			})
+	var launch func(i int)
+	launch = func(i int) {
+		if next := i + SendWindow; next < len(specs) {
+			p.tr.Schedule(time.Duration(SendWindow)*interval, func() { launch(next) })
+		}
+		// The adaptive timeout is evaluated at send time, so the
+		// estimator warms up over the batch.
+		p.start(specs[i], opts.attempts(), p.adaptiveTimeout(opts), func(r Result) {
+			results[i] = r
+			remaining--
+			if remaining == 0 {
+				done(results)
+			}
 		})
+	}
+	for i := 0; i < SendWindow && i < len(specs); i++ {
+		i := i
+		p.tr.Schedule(time.Duration(i)*interval, func() { launch(i) })
 	}
 }
 
 // ID returns the prober's ICMP identifier.
 func (p *Prober) ID() uint16 { return p.id }
 
+// SkipSeqs advances the sequence counter by n without sending, as if n
+// attempts had been allocated and already retired. Campaign resume uses
+// it to replay the consumption of archived batches: probe wire images
+// carry the seq, and per-packet fault draws are content-keyed on them,
+// so a resumed VP must enter each phase with the same counter position
+// it had in the original run for the replay to stay byte-identical.
+func (p *Prober) SkipSeqs(n int) { p.nextSeq += uint16(n) }
+
 // Expect registers an externally-transmitted probe for matching: the
 // reverse-traceroute system sends source-spoofed probes from one vantage
 // point whose replies arrive at another. The returned (id, seq) must be
-// embedded by the actual sender (see SendSpoofed). done fires exactly
-// once with the matched response or a timeout.
-func (p *Prober) Expect(spec Spec, timeout time.Duration, done func(Result)) (id, seq uint16) {
+// embedded by the actual sender (see SendSpoofed) only when ok is true.
+// On sequence-space exhaustion ok is false, done fires synchronously
+// with a SendError result, and the returned identifiers are unusable —
+// seq 0 may belong to a live pending probe, so a caller that transmits
+// it anyway can resolve the wrong op with a stranger's reply.
+func (p *Prober) Expect(spec Spec, timeout time.Duration, done func(Result)) (id, seq uint16, ok bool) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	var ok bool
 	if seq, ok = p.allocSeq(); !ok {
 		done(Result{Spec: spec, SentAt: p.tr.Now(), Type: SendError, Err: ErrTooManyOutstanding})
-		return p.id, 0
+		return p.id, 0, false
 	}
 	op := &probeOp{
 		spec:        spec,
@@ -358,7 +387,7 @@ func (p *Prober) Expect(spec Spec, timeout time.Duration, done func(Result)) (id
 	pp := &pendingProbe{op: op, seq: seq, attempt: 1, sentAt: p.tr.Now()}
 	p.pending[seq] = pp
 	p.tr.Schedule(timeout, func() { p.attemptTimeout(pp) })
-	return p.id, seq
+	return p.id, seq, true
 }
 
 // SendSpoofed transmits a probe from this prober's vantage point with a

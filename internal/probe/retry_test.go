@@ -303,11 +303,121 @@ func TestAllocSeqCapFailsExplicitly(t *testing.T) {
 		t.Errorf("failed probe leaked a pending entry: %d", p.Outstanding())
 	}
 
-	// Expect refuses the same way.
+	// Expect refuses the same way, and says so via ok.
 	var eres *Result
-	_, seq := p.Expect(Spec{Dst: retryDst, Kind: Ping}, time.Second, func(r Result) { eres = &r })
-	if seq != 0 || eres == nil || eres.Type != SendError {
-		t.Errorf("Expect under cap: seq=%d res=%+v, want immediate SendError", seq, eres)
+	_, seq, ok := p.Expect(Spec{Dst: retryDst, Kind: Ping}, time.Second, func(r Result) { eres = &r })
+	if ok || seq != 0 || eres == nil || eres.Type != SendError {
+		t.Errorf("Expect under cap: ok=%v seq=%d res=%+v, want refusal with immediate SendError", ok, seq, eres)
+	}
+}
+
+// TestStartBatchHeapDepthBounded pins the windowed batch schedule: a
+// batch of N specs enqueues at most SendWindow send events (the old
+// upfront schedule put all N in the heap at t≈0 — ~100k entries per VP
+// batch at the large scale profile), while pacing stays exact: probe i
+// leaves at exactly i*interval, in spec order.
+func TestStartBatchHeapDepthBounded(t *testing.T) {
+	tr := newScriptedTransport()
+	p := New(tr, 0x111b)
+	var sentAt []time.Duration
+	tr.onSend = func([]byte) { sentAt = append(sentAt, tr.eng.Now()) }
+	const n = 4 * SendWindow
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = Spec{Dst: retryDst, Kind: Ping}
+	}
+	var got []Result
+	p.StartBatch(specs, Options{Rate: 1000, Timeout: time.Millisecond}, func(rs []Result) { got = rs })
+	if pend := tr.eng.Pending(); pend > SendWindow {
+		t.Fatalf("StartBatch enqueued %d events upfront, want <= SendWindow (%d)", pend, SendWindow)
+	}
+	tr.eng.Run()
+
+	if len(got) != n {
+		t.Fatalf("batch returned %d results, want %d", len(got), n)
+	}
+	interval := time.Duration(float64(time.Second) / 1000)
+	if len(sentAt) != n {
+		t.Fatalf("%d transmissions, want %d", len(sentAt), n)
+	}
+	for i, at := range sentAt {
+		if want := time.Duration(i) * interval; at != want {
+			t.Fatalf("probe %d sent at %v, want %v", i, at, want)
+		}
+	}
+	for i, r := range got {
+		if want := time.Duration(i) * interval; r.SentAt != want {
+			t.Errorf("result %d SentAt=%v, want %v (spec order broken)", i, r.SentAt, want)
+			break
+		}
+	}
+}
+
+// TestExpectExhaustionNoCrossOpDelivery is the regression test for the
+// sequence-exhaustion aliasing bug: Expect used to return (p.id, 0)
+// after a SendError, identifiers that alias whatever live probe holds
+// seq 0 — a caller embedding them via SendSpoofed would elicit a reply
+// that resolves the wrong op. The fixed contract reports the refusal
+// (ok=false) so callers never transmit the aliased identifiers, and the
+// live seq-0 op keeps its registration and resolves only with its own
+// reply.
+func TestExpectExhaustionNoCrossOpDelivery(t *testing.T) {
+	tr := newScriptedTransport()
+	p := New(tr, 0x111a)
+
+	// The live op: the prober's first allocation takes seq 0, exactly the
+	// number the buggy Expect used to hand out after a refusal.
+	liveDst := netip.MustParseAddr("198.51.100.10")
+	var liveWire []byte
+	tr.onSend = func(wire []byte) { liveWire = wire }
+	var live *Result
+	p.StartOne(Spec{Dst: liveDst, Kind: Ping}, time.Hour, func(r Result) { live = &r })
+	if liveWire == nil {
+		t.Fatal("live probe was not transmitted")
+	}
+
+	// Fill the remaining sequence space with expectations that never
+	// resolve within the test horizon.
+	for p.Outstanding() < MaxOutstanding {
+		p.Expect(Spec{Dst: retryDst, Kind: Ping}, time.Hour, func(Result) {})
+	}
+
+	// One more registration must be refused outright.
+	otherDst := netip.MustParseAddr("203.0.113.77")
+	refusals := 0
+	id, seq, ok := p.Expect(Spec{Dst: otherDst, Kind: PingRR}, time.Hour, func(r Result) {
+		refusals++
+		if r.Type != SendError || r.Err != ErrTooManyOutstanding {
+			t.Errorf("refused expectation resolved as %v err=%v, want SendError", r.Type, r.Err)
+		}
+	})
+	if ok {
+		t.Fatal("Expect granted a registration with the sequence space full")
+	}
+	if refusals != 1 {
+		t.Fatalf("refusal callback fired %d times, want 1", refusals)
+	}
+	if id != p.ID() || seq != 0 {
+		t.Fatalf("refused Expect returned (id=%#x, seq=%d)", id, seq)
+	}
+	if p.Outstanding() != MaxOutstanding {
+		t.Errorf("refused expectation leaked a pending entry: %d", p.Outstanding())
+	}
+
+	// A caller honoring ok transmits nothing for the refused spec, so the
+	// only traffic is the live probe's own reply — which must resolve the
+	// live op with the live destination, proving seq 0 still belongs to it.
+	tr.deliver(10*time.Millisecond, echoReplyFor(t, liveWire))
+	tr.eng.RunUntil(20 * time.Millisecond)
+	if live == nil {
+		t.Fatal("live seq-0 probe never resolved")
+	}
+	if live.Type != EchoReply || live.From != liveDst || live.Seq != 0 {
+		t.Errorf("live op resolved as %v from %v seq=%d, want its own reply from %v at seq 0",
+			live.Type, live.From, live.Seq, liveDst)
+	}
+	if refusals != 1 {
+		t.Errorf("refused expectation received a delivery after its SendError (%d callbacks)", refusals)
 	}
 }
 

@@ -27,7 +27,10 @@ func TestExpectAndSendSpoofed(t *testing.T) {
 	d := pickDests(topo, 1)[0]
 	spec := Spec{Dst: d.Addr, Kind: PingRR}
 	var got *Result
-	id, seq := receiver.Expect(spec, time.Second, func(r Result) { got = &r })
+	id, seq, ok := receiver.Expect(spec, time.Second, func(r Result) { got = &r })
+	if !ok {
+		t.Fatal("Expect refused with an empty sequence space")
+	}
 	if id != receiver.ID() {
 		t.Fatalf("Expect returned id %#x, want receiver's %#x", id, receiver.ID())
 	}

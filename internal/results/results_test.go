@@ -1,4 +1,4 @@
-package results
+package results_test
 
 import (
 	"bytes"
@@ -8,6 +8,7 @@ import (
 
 	"recordroute/internal/analysis"
 	"recordroute/internal/probe"
+	"recordroute/internal/results"
 	"recordroute/internal/study"
 	"recordroute/internal/topology"
 )
@@ -48,10 +49,10 @@ func sample() map[string][]probe.Result {
 
 func TestWriteReadRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Write(&buf, sample()); err != nil {
+	if err := results.Write(&buf, sample()); err != nil {
 		t.Fatal(err)
 	}
-	back, err := Read(&buf)
+	back, err := results.Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestReadRejectsMalformed(t *testing.T) {
 		"vp|ping|100.1.0.1|echo-reply|x|100.1.0.1|0|9|false|false|",
 	}
 	for i, line := range cases {
-		if _, err := Read(strings.NewReader(line)); err == nil {
+		if _, err := results.Read(strings.NewReader(line)); err == nil {
 			t.Errorf("case %d accepted: %q", i, line)
 		}
 	}
@@ -96,7 +97,7 @@ func TestReadRejectsMalformed(t *testing.T) {
 
 func TestReadSkipsComments(t *testing.T) {
 	in := "# header\n\nmlab-0|ping|100.1.0.1|timeout|0||0|0|false|false|\n"
-	got, err := Read(strings.NewReader(in))
+	got, err := results.Read(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,10 +118,10 @@ func TestArchivedResultsReanalyze(t *testing.T) {
 	r := s.RunResponsiveness()
 
 	var buf bytes.Buffer
-	if err := Write(&buf, r.PerVP); err != nil {
+	if err := results.Write(&buf, r.PerVP); err != nil {
 		t.Fatal(err)
 	}
-	back, err := Read(&buf)
+	back, err := results.Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -163,7 +163,7 @@ func (s *System) trySpoofer(order []*measure.VantagePoint, i int, cur netip.Addr
 	}
 	spoofer := order[i]
 	spec := probe.Spec{Dst: cur, Kind: probe.PingRR, RRSlots: s.Opts.RRSlots}
-	id, seq := target.Prober.Expect(spec, s.Opts.Timeout, func(r probe.Result) {
+	id, seq, ok := target.Prober.Expect(spec, s.Opts.Timeout, func(r probe.Result) {
 		rev, spare, ok := reverseHops(r, cur)
 		if !ok {
 			// Timeout, stripped option, or cur did not stamp (out of
@@ -196,6 +196,13 @@ func (s *System) trySpoofer(order []*measure.VantagePoint, i int, cur netip.Addr
 		}
 		s.segment(rev[len(rev)-1], target, p, done)
 	})
+	if !ok {
+		// Sequence space exhausted: the registration failed and done
+		// already advanced the search with a SendError. Transmitting the
+		// returned identifiers anyway could collide with a live pending
+		// probe at the same (id, seq) and resolve a stranger's op.
+		return
+	}
 	if err := spoofer.Prober.SendSpoofed(spec, target.Prober.LocalAddr(), id, seq); err != nil {
 		// Malformed send: the Expect timeout will advance the search.
 		return

@@ -1,0 +1,127 @@
+// Package server is the campaign service: a job queue and bounded
+// worker pool executing study campaigns over HTTP, with a frozen-plane
+// cache so identical jobs share one topology build, per-job JSONL
+// result streaming, and journal-backed checkpoint/resume (DESIGN.md
+// §11). The cmd/rrstudyd daemon is a thin flag-and-signal wrapper
+// around this package.
+package server
+
+import (
+	"sync"
+
+	"recordroute/internal/topology"
+)
+
+// planeCache is the frozen-plane cache: an LRU of topology snapshots
+// keyed by Config.Digest(). The first request for a digest pays the one
+// topology.Build; every other request — concurrent or later — clones
+// the frozen snapshot, which shares the immutable route plane (FIBs,
+// routes, addressing) and costs a small fraction of a build. Concurrent
+// requests for the same digest are single-flighted: they block on the
+// building entry instead of racing their own builds.
+type planeCache struct {
+	mu  sync.Mutex
+	cap int
+	ent map[string]*planeEntry
+
+	tick   uint64 // LRU clock
+	hits   uint64
+	misses uint64
+}
+
+// planeEntry is one cached plane. ready is closed once the build
+// finished (snap or err set); lastUse orders eviction.
+type planeEntry struct {
+	ready   chan struct{}
+	snap    *topology.Snapshot
+	err     error
+	lastUse uint64
+}
+
+func newPlaneCache(capacity int) *planeCache {
+	if capacity < 1 {
+		capacity = 4
+	}
+	return &planeCache{cap: capacity, ent: make(map[string]*planeEntry)}
+}
+
+// Get returns a fresh pristine clone of the plane for cfg, building it
+// exactly once per digest however many requests arrive together. hit
+// reports whether the plane was already cached (or already building) —
+// the signal the one-build acceptance assertion and the /metrics cache
+// counters read.
+func (c *planeCache) Get(cfg topology.Config) (topo *topology.Topology, hit bool, err error) {
+	key := cfg.Digest()
+
+	c.mu.Lock()
+	e, ok := c.ent[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+		e = &planeEntry{ready: make(chan struct{})}
+		c.ent[key] = e
+		c.evictLocked(key)
+	}
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+
+	if !ok {
+		built, berr := topology.Build(cfg)
+		if berr == nil {
+			e.snap = topology.SnapshotOf(built)
+		}
+		e.err = berr
+		close(e.ready)
+		if berr != nil {
+			// A failed build must not poison the key forever: drop it so
+			// a corrected config (or transient failure) can retry.
+			c.mu.Lock()
+			if c.ent[key] == e {
+				delete(c.ent, key)
+			}
+			c.mu.Unlock()
+		}
+	}
+
+	<-e.ready
+	if e.err != nil {
+		return nil, ok, e.err
+	}
+	return e.snap.Clone(), ok, nil
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// cache fits; entries still building (ready open) are pinned. Called
+// with c.mu held, just after inserting keep.
+func (c *planeCache) evictLocked(keep string) {
+	for len(c.ent) > c.cap {
+		victim := ""
+		var oldest uint64
+		for k, e := range c.ent {
+			if k == keep {
+				continue
+			}
+			select {
+			case <-e.ready:
+			default:
+				continue // still building
+			}
+			if victim == "" || e.lastUse < oldest {
+				victim, oldest = k, e.lastUse
+			}
+		}
+		if victim == "" {
+			return
+		}
+		delete(c.ent, victim)
+	}
+}
+
+// Stats returns the cache's hit/miss counters and current size.
+func (c *planeCache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.ent)
+}

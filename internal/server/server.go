@@ -1,0 +1,522 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"recordroute/internal/obs"
+	"recordroute/internal/probe"
+	"recordroute/internal/results"
+	"recordroute/internal/study"
+	"recordroute/internal/topology"
+)
+
+// Config sizes the campaign service.
+type Config struct {
+	// Workers is the worker-pool width: how many campaigns execute
+	// concurrently. Default 2.
+	Workers int
+	// QueueCap bounds the number of accepted-but-not-running jobs.
+	// Submissions beyond it are refused with 503 — backpressure, not
+	// unbounded memory. Default 16.
+	QueueCap int
+	// CacheCap bounds the frozen-plane cache (distinct topology
+	// configs). Default 4.
+	CacheCap int
+	// DataDir is where per-job journals live. Default: a "rrstudyd"
+	// directory under the OS temp dir.
+	DataDir string
+}
+
+// JobSpec is the submit body: which experiment against which world,
+// with which campaign options. The zero value of each field means its
+// study default.
+type JobSpec struct {
+	// Experiment selects the campaign; "table1" (the Table 1
+	// responsiveness study) is the one the service runs.
+	Experiment string `json:"experiment"`
+	// Scale multiplies the default topology sizing (1.0 ≈ 1/100 of the
+	// paper's probing volume).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed overrides the world seed (0 = built-in default).
+	Seed uint64 `json:"seed,omitempty"`
+	// Epoch is 2016 (default) or 2011.
+	Epoch int `json:"epoch,omitempty"`
+	// Shards, Rate, ShuffleSeed mirror study.Options.
+	Shards      int     `json:"shards,omitempty"`
+	Rate        float64 `json:"rate,omitempty"`
+	ShuffleSeed uint64  `json:"shuffle_seed,omitempty"`
+	// Journal overrides the journal path (default: DataDir/<job>.jsonl);
+	// with Resume set, completed batches found there are skipped and
+	// the run picks up where the journal stops.
+	Journal string `json:"journal,omitempty"`
+	Resume  bool   `json:"resume,omitempty"`
+}
+
+// config resolves the spec into the topology configuration that keys
+// the frozen-plane cache.
+func (sp JobSpec) config() (topology.Config, error) {
+	epoch := topology.Epoch2016
+	switch sp.Epoch {
+	case 0, 2016:
+	case 2011:
+		epoch = topology.Epoch2011
+	default:
+		return topology.Config{}, fmt.Errorf("unknown epoch %d (want 2016 or 2011)", sp.Epoch)
+	}
+	cfg := topology.DefaultConfig(epoch)
+	if sp.Scale < 0 || sp.Scale > 100 {
+		return topology.Config{}, fmt.Errorf("scale %v out of range (0, 100]", sp.Scale)
+	}
+	if sp.Scale > 0 && sp.Scale != 1 {
+		cfg = cfg.Scale(sp.Scale)
+	}
+	if sp.Seed != 0 {
+		cfg.Seed = sp.Seed
+	}
+	return cfg, nil
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job is one submitted campaign. Result lines accumulate in stream as
+// the campaign's VP batches complete; render holds the finished table.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    string
+	err      string
+	cacheHit bool
+	done     int // completed VP batches (archived + freshly probed)
+	total    int // VP batches the campaign will complete, once known
+	stream   []byte
+	render   []byte
+}
+
+// Status is the job-status JSON.
+type Status struct {
+	ID       string  `json:"id"`
+	State    string  `json:"state"`
+	Error    string  `json:"error,omitempty"`
+	CacheHit bool    `json:"cache_hit"`
+	Done     int     `json:"done"`
+	Total    int     `json:"total"`
+	Progress float64 `json:"progress"`
+}
+
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{ID: j.ID, State: j.state, Error: j.err,
+		CacheHit: j.cacheHit, Done: j.done, Total: j.total}
+	if j.total > 0 {
+		s.Progress = float64(j.done) / float64(j.total)
+	}
+	return s
+}
+
+// Server is the campaign service: submit jobs, poll status, stream
+// results, scrape metrics. Create with New, serve via Handler, stop
+// with Drain.
+type Server struct {
+	cfg   Config
+	cache *planeCache
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for /metrics
+	nextID   int
+	draining bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// startHook, when set (tests), runs at the top of each job
+	// execution — a seam for making workers dwell deterministically.
+	startHook func(*Job)
+}
+
+// New starts a campaign service with cfg's pool sizes; workers run
+// until Drain.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 16
+	}
+	if cfg.DataDir == "" {
+		cfg.DataDir = filepath.Join(os.TempDir(), "rrstudyd")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: newPlaneCache(cfg.CacheCap),
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, cfg.QueueCap),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Drain stops accepting jobs, lets queued and running campaigns finish,
+// and returns when the pool is idle — the graceful-shutdown half of the
+// daemon's SIGTERM handling. Journals make even an ungraceful kill
+// recoverable; drain just finishes the cheap way.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Submit enqueues a job, refusing with an error when the service is
+// draining or the queue is full.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	switch spec.Experiment {
+	case "table1", "responsiveness":
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (want table1)", spec.Experiment)
+	}
+	if _, err := spec.config(); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	s.nextID++
+	job := &Job{ID: fmt.Sprintf("job-%d", s.nextID), Spec: spec, state: StateQueued}
+	job.cond = sync.NewCond(&job.mu)
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		return nil, errQueueFull
+	}
+}
+
+var (
+	errQueueFull = fmt.Errorf("job queue full")
+	errDraining  = fmt.Errorf("service is draining")
+)
+
+// Job returns a submitted job by ID.
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// QueueDepth returns the number of jobs accepted but not yet running.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.run(job)
+	}
+}
+
+// run executes one campaign: resolve the world through the frozen-plane
+// cache, attach the job's journal, stream batches as they complete,
+// render when done.
+func (s *Server) run(job *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			job.fail(fmt.Sprintf("panic: %v", r))
+		}
+	}()
+	if s.startHook != nil {
+		s.startHook(job)
+	}
+	job.setState(StateRunning)
+
+	cfg, err := job.Spec.config()
+	if err != nil {
+		job.fail(err.Error())
+		return
+	}
+	topo, hit, err := s.cache.Get(cfg)
+	if err != nil {
+		job.fail(fmt.Sprintf("topology build: %v", err))
+		return
+	}
+	job.mu.Lock()
+	job.cacheHit = hit
+	job.mu.Unlock()
+
+	st, err := study.NewFromTopology(topo, study.Options{
+		Rate:        job.Spec.Rate,
+		ShuffleSeed: job.Spec.ShuffleSeed,
+		Shards:      job.Spec.Shards,
+	})
+	if err != nil {
+		job.fail(err.Error())
+		return
+	}
+	path := job.Spec.Journal
+	if path == "" {
+		path = filepath.Join(s.cfg.DataDir, job.ID+".jsonl")
+	}
+	jn, err := st.AttachJournal(path, job.Spec.Resume)
+	if err != nil {
+		job.fail(fmt.Sprintf("journal: %v", err))
+		return
+	}
+	defer st.CloseJournal()
+
+	job.mu.Lock()
+	job.total = len(st.Topo.VPs)
+	job.done = jn.Archived()
+	job.mu.Unlock()
+	jn.SetSink(func(vp string, rs []probe.Result) {
+		var line bytes.Buffer
+		if err := results.WriteJSONL(&line, vp, rs); err != nil {
+			return
+		}
+		job.mu.Lock()
+		job.done++
+		job.stream = append(job.stream, line.Bytes()...)
+		job.mu.Unlock()
+		job.cond.Broadcast()
+	})
+
+	resp := st.RunResponsiveness()
+	if errs := st.Fleet().ShardErrors(); len(errs) > 0 {
+		job.fail(fmt.Sprintf("%d shard(s) failed: %v (journal %s keeps completed batches; resubmit with resume)", len(errs), errs[0], path))
+		return
+	}
+
+	var render bytes.Buffer
+	resp.Render(&render)
+	job.mu.Lock()
+	job.render = render.Bytes()
+	job.state = StateDone
+	job.mu.Unlock()
+	job.cond.Broadcast()
+}
+
+func (j *Job) setState(st string) {
+	j.mu.Lock()
+	j.state = st
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+func (j *Job) fail(msg string) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.err = msg
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+// terminal reports whether the job reached done/failed.
+func (j *Job) terminal() bool {
+	return j.state == StateDone || j.state == StateFailed
+}
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /jobs                submit a JobSpec, 202 {"id": ...} or 503
+//	GET  /jobs/{id}           status JSON
+//	GET  /jobs/{id}/stream    live JSONL result stream (follows until done)
+//	GET  /jobs/{id}/render    the finished table (404 until done)
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /jobs/{id}/render", s.handleRender)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf("bad job spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case err == errQueueFull, err == errDraining:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": job.ID})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(job.status())
+}
+
+// handleStream replays the job's JSONL results from the beginning and
+// then follows live completions until the job reaches a terminal state
+// (or the client goes away), flushing after every batch.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	// Wake the cond loop when the client disconnects.
+	ctx := r.Context()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			job.cond.Broadcast()
+		case <-stop:
+		}
+	}()
+
+	off := 0
+	for {
+		job.mu.Lock()
+		for off == len(job.stream) && !job.terminal() && ctx.Err() == nil {
+			job.cond.Wait()
+		}
+		chunk := job.stream[off:]
+		off = len(job.stream)
+		end := job.terminal()
+		job.mu.Unlock()
+
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if ctx.Err() != nil || (end && len(chunk) == 0) {
+			return
+		}
+	}
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		http.NotFound(w, r)
+		return
+	}
+	job.mu.Lock()
+	state, render, errMsg := job.state, job.render, job.err
+	job.mu.Unlock()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(render)
+	case StateFailed:
+		http.Error(w, errMsg, http.StatusInternalServerError)
+	default:
+		http.Error(w, fmt.Sprintf("job %s is %s", job.ID, state), http.StatusConflict)
+	}
+}
+
+// handleMetrics exposes the service gauges the acceptance criteria
+// name — queue depth, cache hits, per-job progress — plus worker-pool
+// and build counters, in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, size := s.cache.Stats()
+
+	s.mu.Lock()
+	states := make(map[string]float64)
+	var progress, totals []obs.PromSample
+	for _, id := range s.order {
+		job := s.jobs[id]
+		st := job.status()
+		states[st.State]++
+		progress = append(progress, obs.PromSample{
+			Labels: map[string]string{"job": st.ID}, Value: float64(st.Done)})
+		totals = append(totals, obs.PromSample{
+			Labels: map[string]string{"job": st.ID}, Value: float64(st.Total)})
+	}
+	s.mu.Unlock()
+
+	var stateSamples []obs.PromSample
+	for _, st := range []string{StateQueued, StateRunning, StateDone, StateFailed} {
+		stateSamples = append(stateSamples, obs.PromSample{
+			Labels: map[string]string{"state": st}, Value: states[st]})
+	}
+
+	fams := []obs.PromFamily{
+		{Name: "rrstudyd_queue_depth", Help: "jobs accepted but not yet running", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(s.QueueDepth())}}},
+		{Name: "rrstudyd_workers", Help: "worker pool width", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(s.cfg.Workers)}}},
+		{Name: "rrstudyd_jobs", Help: "jobs by state", Type: "gauge", Samples: stateSamples},
+		{Name: "rrstudyd_cache_hits_total", Help: "frozen-plane cache hits", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(hits)}}},
+		{Name: "rrstudyd_cache_misses_total", Help: "frozen-plane cache misses", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(misses)}}},
+		{Name: "rrstudyd_cache_planes", Help: "cached frozen planes", Type: "gauge",
+			Samples: []obs.PromSample{{Value: float64(size)}}},
+		{Name: "rrstudyd_topology_builds_total", Help: "process-wide topology builds", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(topology.Builds())}}},
+		{Name: "rrstudyd_job_batches_done", Help: "completed VP batches per job (archived + fresh)", Type: "gauge",
+			Samples: progress},
+		{Name: "rrstudyd_job_batches_total", Help: "VP batches the job's campaign completes", Type: "gauge",
+			Samples: totals},
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteProm(w, fams)
+}

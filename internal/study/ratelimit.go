@@ -28,10 +28,22 @@ type RateLimitVP struct {
 	At10, At100 int
 }
 
-// DropFrac is the fractional response loss at 100 pps.
+// DropFrac is the fractional response loss at 100 pps, in [0, 1].
+// The edge cases are explicit so the >25% drastic-drop classification
+// cannot misfire:
+//   - At10 <= 0: there is no baseline to lose responses against. A VP
+//     that additionally answered at 100 pps *gained* responses, so the
+//     drop is 0 by decision, not by a division guard that happens to
+//     return 0.
+//   - At100 >= At10: a response gain at the high rate (loss noise at
+//     10 pps resolving at 100 pps). The naive ratio would go negative
+//     and silently offset real drops in any aggregate; clamped to 0.
 func (v *RateLimitVP) DropFrac() float64 {
-	if v.At10 == 0 {
-		return 0
+	switch {
+	case v.At10 <= 0:
+		return 0 // no baseline signal: a drop cannot be measured
+	case v.At100 >= v.At10:
+		return 0 // gain, not drop
 	}
 	return 1 - float64(v.At100)/float64(v.At10)
 }

@@ -1,0 +1,45 @@
+package study
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDropFracEdgeCases pins DropFrac's explicit edge-case handling:
+// the naive 1 - At100/At10 ratio used to report 0% for a VP with no
+// baseline (At10 == 0) via the division guard, and let response gains
+// (At100 > At10) flow through as negative drops — either of which can
+// misclassify VPs around the >25% drastic-drop threshold.
+func TestDropFracEdgeCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		at10, at100 int
+		want        float64
+		drastic     bool
+	}{
+		{"silent-both", 0, 0, 0, false},
+		{"zero-baseline-gain", 0, 40, 0, false},
+		{"negative-counts", -1, -5, 0, false},
+		{"equal", 50, 50, 0, false},
+		{"gain-clamped", 40, 60, 0, false},
+		{"mild-drop", 100, 90, 0.1, false},
+		{"threshold-exact", 100, 75, 0.25, false},
+		{"drastic", 100, 60, 0.4, true},
+		{"total-drop", 80, 0, 1, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := &RateLimitVP{At10: c.at10, At100: c.at100}
+			got := v.DropFrac()
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("DropFrac(At10=%d, At100=%d) = %v, want %v", c.at10, c.at100, got, c.want)
+			}
+			if got < 0 || got > 1 {
+				t.Errorf("DropFrac out of [0,1]: %v", got)
+			}
+			if (got > 0.25) != c.drastic {
+				t.Errorf("drastic classification = %v, want %v", got > 0.25, c.drastic)
+			}
+		})
+	}
+}

@@ -1,0 +1,152 @@
+package study
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"recordroute/internal/netsim"
+	"recordroute/internal/probe"
+	"recordroute/internal/topology"
+)
+
+// journaledRun is one cell of the resume property: a journaled study
+// run to completion, with its render and how much of it came from the
+// journal's archive versus fresh probing.
+type journaledRun struct {
+	resp     *Responsiveness
+	render   []byte
+	archived int // batches replayed from the journal
+	streamed int // fresh batches seen by the live sink
+	errs     int
+}
+
+// runJournaled builds a study identical to runSharded's cells, attaches
+// a journal at path, and runs the Table 1 experiment to completion.
+func runJournaled(t *testing.T, seed uint64, fc *netsim.FaultConfig, shards int, path string, resume bool) journaledRun {
+	t.Helper()
+	cfg := topology.DefaultConfig(topology.Epoch2016).Scale(0.15)
+	cfg.Seed = seed
+	cfg.Faults = fc
+	s, err := New(cfg, Options{Rate: 200, ShuffleSeed: 7, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.AttachJournal(path, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := journaledRun{archived: j.Archived()}
+	j.SetSink(func(string, []probe.Result) { run.streamed++ })
+
+	run.resp = s.RunResponsiveness()
+	var buf bytes.Buffer
+	run.resp.Render(&buf)
+	run.render = buf.Bytes()
+	run.errs = len(s.Fleet().ShardErrors())
+	if err := s.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// truncateJournal simulates a kill mid-campaign: it keeps the journal's
+// meta and phase records plus the first half of the completed VP
+// batches, then appends half of the next line — the torn write a dead
+// process leaves behind.
+func truncateJournal(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	var head, vps [][]byte
+	for _, l := range lines {
+		if len(bytes.TrimSpace(l)) == 0 {
+			continue
+		}
+		if bytes.Contains(l, []byte(`"t":"vp"`)) {
+			vps = append(vps, l)
+		} else {
+			head = append(head, l)
+		}
+	}
+	if len(vps) < 2 {
+		t.Fatalf("journal %s holds only %d VP batches; cannot cut mid-run", src, len(vps))
+	}
+	keep := len(vps) / 2
+	var out bytes.Buffer
+	for _, l := range head {
+		out.Write(l)
+	}
+	for _, l := range vps[:keep] {
+		out.Write(l)
+	}
+	out.Write(vps[keep][:len(vps[keep])/2]) // the torn final write
+	if err := os.WriteFile(dst, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeEqualsUninterrupted is the checkpoint/resume property
+// (DESIGN.md §11): a campaign killed mid-run and resumed from its
+// journal reproduces the uninterrupted journaled run — byte-identical
+// Table 1 render and per-VP result streams equal field-for-field apart
+// from ReplyIPID — across shard counts, with and without a fault plan.
+// The kill is simulated the way it actually wounds a journal: the file
+// is cut after half the completed batches, mid-line. (The shard-panic
+// variant of the same property lives in measure's journal tests, where
+// the fault can be injected into a specific replica.)
+func TestResumeEqualsUninterrupted(t *testing.T) {
+	const seed = 11
+	faults := []struct {
+		name string
+		fc   *netsim.FaultConfig
+	}{
+		{"no-faults", nil},
+		{"fault-plan", &netsim.FaultConfig{LossProb: 0.05, LossFrac: 0.25,
+			OutageFrac: 0.02, WithdrawFrac: 0.05}},
+	}
+	for _, f := range faults {
+		for _, k := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("K%d/%s", k, f.name), func(t *testing.T) {
+				dir := t.TempDir()
+				full := filepath.Join(dir, "full.jsonl")
+				cut := filepath.Join(dir, "cut.jsonl")
+
+				base := runJournaled(t, seed, f.fc, k, full, false)
+				if base.errs > 0 {
+					t.Fatalf("uninterrupted run reported %d shard errors", base.errs)
+				}
+				if base.archived != 0 {
+					t.Fatalf("fresh journal replayed %d archived batches", base.archived)
+				}
+
+				truncateJournal(t, full, cut)
+				resumed := runJournaled(t, seed, f.fc, k, cut, true)
+				if resumed.errs > 0 {
+					t.Fatalf("resumed run reported %d shard errors", resumed.errs)
+				}
+				if resumed.archived == 0 {
+					t.Fatal("resume replayed nothing: the journal cut left no archive")
+				}
+
+				// The resume must actually skip: fresh (streamed) batches
+				// plus archived ones cover the VP set exactly once.
+				if total := resumed.archived + resumed.streamed; total != base.streamed {
+					t.Errorf("archived %d + streamed %d = %d batches, want %d",
+						resumed.archived, resumed.streamed, total, base.streamed)
+				}
+
+				if !bytes.Equal(resumed.render, base.render) {
+					t.Errorf("resumed Table 1 render differs from uninterrupted:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s",
+						base.render, resumed.render)
+				}
+				comparePerVP(t, k, base.resp, resumed.resp)
+			})
+		}
+	}
+}

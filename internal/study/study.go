@@ -17,6 +17,7 @@
 package study
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"net/netip"
 	"runtime"
@@ -101,7 +102,8 @@ type Study struct {
 	// behind a source-proximate policer.
 	Origin *measure.VantagePoint
 
-	fleet measure.Fleet
+	fleet   measure.Fleet
+	journal *measure.Journal
 }
 
 // New builds the simulated Internet for cfg and wires up the campaign.
@@ -113,10 +115,23 @@ func New(cfg topology.Config, opts Options) (*Study, error) {
 		}
 		pcfg.Seed, pcfg.Faults = cfg.Seed, cfg.Faults
 		cfg = pcfg
+		opts.Scale = ""
 	}
 	topo, err := topology.Build(cfg)
 	if err != nil {
 		return nil, err
+	}
+	return NewFromTopology(topo, opts)
+}
+
+// NewFromTopology wires a study over an already-built topology — the
+// campaign-service path, where a frozen-plane cache hands out one Build
+// per distinct config and each job gets a clone. opts.Scale must be
+// empty: a profile resizes the Config, which is impossible after the
+// world is built.
+func NewFromTopology(topo *topology.Topology, opts Options) (*Study, error) {
+	if opts.Scale != "" {
+		return nil, fmt.Errorf("study: scale profile %q must be resolved before the topology is built", opts.Scale)
 	}
 	s := &Study{
 		Topo: topo,
@@ -141,22 +156,74 @@ func New(cfg topology.Config, opts Options) (*Study, error) {
 // probe through: the shared-engine Campaign when Opts resolves to one
 // shard, otherwise a lazily built ParallelCampaign whose replicas are
 // cloned from this study's own topology snapshot — the Build New
-// already paid is never repeated. Experiments that measure cross-VP
-// contention (Figure 4) must keep using s.Camp directly — see
+// already paid is never repeated. A journaled study always gets a
+// ParallelCampaign, even at one shard: the journal's quantized phases
+// and per-VP skip live in that executor. Experiments that measure
+// cross-VP contention (Figure 4) must keep using s.Camp directly — see
 // measure.ParallelCampaign's determinism contract.
 func (s *Study) Fleet() measure.Fleet {
 	if s.fleet == nil {
-		if k := s.Opts.shards(); k <= 1 {
+		if k := s.Opts.shards(); k <= 1 && s.journal == nil {
 			s.fleet = s.Camp
 		} else {
 			pc, err := measure.NewParallelCampaignFrom(s.Topo, k)
 			if err != nil {
-				panic(err) // k >= 2 here; NewParallelCampaignFrom rejects only k < 1
+				panic(err) // k >= 1 here; NewParallelCampaignFrom rejects only k < 1
+			}
+			if s.journal != nil {
+				pc.AttachJournal(s.journal)
 			}
 			s.fleet = pc
 		}
 	}
 	return s.fleet
+}
+
+// AttachJournal makes the study's fleet journaled: completed per-VP
+// batches stream to the JSONL journal at path as they finish, and —
+// when resume is true and path holds a compatible journal — already
+// completed batches are skipped, so a killed campaign picks up where it
+// stopped and reproduces the uninterrupted run byte-identically mod
+// ReplyIPID (DESIGN.md §11). The journal meta binds the topology digest
+// and every RNG-relevant option, so resuming with a different world or
+// different options is refused. Must be called before the first Fleet
+// use; the returned journal is owned by the study (CloseJournal).
+func (s *Study) AttachJournal(path string, resume bool) (*measure.Journal, error) {
+	if s.fleet != nil {
+		return nil, fmt.Errorf("study: AttachJournal after the fleet is already built")
+	}
+	meta := measure.JournalMeta{
+		Digest:      s.Topo.Cfg.Digest(),
+		Shards:      s.Opts.shards(),
+		Quantum:     measure.DefaultQuantum,
+		Rate:        s.Opts.rate(),
+		Timeout:     s.Opts.timeout(),
+		ShuffleSeed: s.Opts.ShuffleSeed,
+		Retries:     s.Opts.Retries,
+		Adaptive:    s.Opts.Adaptive,
+	}
+	var (
+		j   *measure.Journal
+		err error
+	)
+	if resume {
+		j, err = measure.ResumeJournal(path, meta)
+	} else {
+		j, err = measure.CreateJournal(path, meta)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.journal = j
+	return j, nil
+}
+
+// CloseJournal flushes and closes the attached journal, if any.
+func (s *Study) CloseJournal() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Close()
 }
 
 // MustNew is New for known-good configurations.

@@ -4,10 +4,20 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"recordroute/internal/netsim"
 )
+
+// builds counts completed topology Builds process-wide. The campaign
+// service's frozen-plane cache asserts its hit path against this: two
+// concurrent identical-key jobs must move it by exactly one.
+var builds atomic.Uint64
+
+// Builds returns how many topology Builds have completed in this
+// process.
+func Builds() uint64 { return builds.Load() }
 
 // Build generates the AS graph, computes policy routes, and expands
 // everything into a packet-level netsim network with vantage points,
@@ -59,6 +69,7 @@ func Build(cfg Config) (*Topology, error) {
 	t.buildVPs(plans, rng)
 	t.installOracle()
 	t.installFaults()
+	builds.Add(1)
 	return t, nil
 }
 

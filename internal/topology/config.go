@@ -1,6 +1,9 @@
 package topology
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"recordroute/internal/netsim"
@@ -214,6 +217,25 @@ func (c Config) Scale(f float64) Config {
 	c.NumPlanetLab = scale(c.NumPlanetLab)
 	c.MLabRateLimited = min(c.MLabRateLimited, c.NumMLab)
 	return c
+}
+
+// Digest returns a stable hex key identifying the world this Config
+// builds: every generation input — seed, epoch, roster sizes, behaviour
+// rates, and the fault plan — feeds the hash, so equal digests mean
+// byte-identical topologies (the determinism contract, DESIGN.md §6).
+// The frozen-plane cache and campaign checkpoints key on it.
+func (c Config) Digest() string {
+	// Config is plain exported data (maps keyed by ASType marshal
+	// deterministically: encoding/json sorts map keys), so the JSON form
+	// is a canonical encoding of the generation inputs.
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Unreachable for a struct of scalars, slices, and int-keyed
+		// maps; fail loudly rather than hand out a colliding key.
+		panic(fmt.Sprintf("topology: config digest: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
 }
 
 // Validate reports configuration errors that would break generation.

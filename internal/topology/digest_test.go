@@ -1,0 +1,39 @@
+package topology
+
+import (
+	"testing"
+
+	"recordroute/internal/netsim"
+)
+
+// TestConfigDigest pins the cache-key contract: digests are stable
+// across calls, equal for equal configs, and sensitive to every class
+// of generation input — seed, scale, epoch, and the fault plan.
+func TestConfigDigest(t *testing.T) {
+	base := DefaultConfig(Epoch2016).Scale(0.2)
+	if base.Digest() != base.Digest() {
+		t.Fatal("digest not stable across calls")
+	}
+	same := DefaultConfig(Epoch2016).Scale(0.2)
+	if same.Digest() != base.Digest() {
+		t.Error("identical configs digest differently")
+	}
+	variants := map[string]Config{
+		"seed":  func() Config { c := base; c.Seed = 99; return c }(),
+		"scale": DefaultConfig(Epoch2016).Scale(0.3),
+		"epoch": DefaultConfig(Epoch2011).Scale(0.2),
+		"faults": func() Config {
+			c := base
+			c.Faults = &netsim.FaultConfig{LossProb: 0.1, LossFrac: 0.5}
+			return c
+		}(),
+	}
+	seen := map[string]string{base.Digest(): "base"}
+	for name, cfg := range variants {
+		d := cfg.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("variant %q collides with %q", name, prev)
+		}
+		seen[d] = name
+	}
+}

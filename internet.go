@@ -60,6 +60,23 @@ func MustNew(opts ...Option) *Internet {
 	return in
 }
 
+// AttachJournal makes this Internet's campaigns journaled: every
+// completed per-VP batch of the sharding-invariant experiments streams
+// to the JSONL journal at path as the campaign runs, and — with resume
+// set and a compatible journal at path — batches a previous (killed)
+// run already completed are skipped, reproducing the uninterrupted run
+// byte-identically modulo ReplyIPID (DESIGN.md §11). Must be called
+// before the first experiment. Resuming against a journal written for
+// a different world or different options is refused.
+func (in *Internet) AttachJournal(path string, resume bool) error {
+	_, err := in.st.AttachJournal(path, resume)
+	return err
+}
+
+// CloseJournal flushes and closes the journal attached with
+// AttachJournal, if any.
+func (in *Internet) CloseJournal() error { return in.st.CloseJournal() }
+
 // VPNames lists the platform vantage points (M-Lab then PlanetLab).
 func (in *Internet) VPNames() []string {
 	out := make([]string, len(in.st.Topo.VPs))
