@@ -31,6 +31,12 @@ type Config struct {
 	// DataDir is where per-job journals live. Default: a "rrstudyd"
 	// directory under the OS temp dir.
 	DataDir string
+	// RetainJobs bounds how many finished (done/failed) jobs stay
+	// queryable; beyond it the oldest are evicted along with their
+	// stream and render buffers, so a long-lived daemon's memory stays
+	// bounded per job, not per lifetime. Journals survive eviction.
+	// Default 64.
+	RetainJobs int
 }
 
 // JobSpec is the submit body: which experiment against which world,
@@ -95,6 +101,9 @@ const (
 type Job struct {
 	ID   string
 	Spec JobSpec
+	// journal is the resolved journal path, fixed at submit time so the
+	// server can refuse a second job writing the same file.
+	journal string
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -138,7 +147,8 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	order    []string // submission order, for /metrics
+	order    []string          // submission order, for /metrics
+	journals map[string]string // active journal path -> job ID
 	nextID   int
 	draining bool
 
@@ -159,6 +169,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueCap < 1 {
 		cfg.QueueCap = 16
 	}
+	if cfg.RetainJobs < 1 {
+		cfg.RetainJobs = 64
+	}
 	if cfg.DataDir == "" {
 		cfg.DataDir = filepath.Join(os.TempDir(), "rrstudyd")
 	}
@@ -166,10 +179,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: newPlaneCache(cfg.CacheCap),
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, cfg.QueueCap),
+		cfg:      cfg,
+		cache:    newPlaneCache(cfg.CacheCap),
+		jobs:     make(map[string]*Job),
+		journals: make(map[string]string),
+		queue:    make(chan *Job, cfg.QueueCap),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -196,7 +210,8 @@ func (s *Server) Drain() {
 }
 
 // Submit enqueues a job, refusing with an error when the service is
-// draining or the queue is full.
+// draining, the queue is full, or the job's journal is already in use
+// by a queued/running job.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	switch spec.Experiment {
 	case "table1", "responsiveness":
@@ -208,27 +223,35 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.draining {
-		s.mu.Unlock()
 		return nil, errDraining
 	}
-	s.nextID++
-	job := &Job{ID: fmt.Sprintf("job-%d", s.nextID), Spec: spec, state: StateQueued}
+	id := fmt.Sprintf("job-%d", s.nextID+1)
+	path := spec.Journal
+	if path == "" {
+		path = filepath.Join(s.cfg.DataDir, id+".jsonl")
+	}
+	if owner, busy := s.journals[path]; busy {
+		return nil, fmt.Errorf("journal %s is in use by %s", path, owner)
+	}
+	job := &Job{ID: id, Spec: spec, journal: path, state: StateQueued}
 	job.cond = sync.NewCond(&job.mu)
-	s.jobs[job.ID] = job
-	s.order = append(s.order, job.ID)
-	s.mu.Unlock()
-
+	// The non-blocking send happens under s.mu, for two reasons: it is
+	// ordered against Drain (which flips draining under s.mu before
+	// closing the queue, so we can never send on a closed channel), and
+	// the job is registered only after the queue accepts it, so a full
+	// queue needs no rollback that could race with other submissions.
 	select {
 	case s.queue <- job:
-		return job, nil
 	default:
-		s.mu.Lock()
-		delete(s.jobs, job.ID)
-		s.order = s.order[:len(s.order)-1]
-		s.mu.Unlock()
 		return nil, errQueueFull
 	}
+	s.nextID++
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.journals[path] = job.ID
+	return job, nil
 }
 
 var (
@@ -261,6 +284,10 @@ func (s *Server) run(job *Job) {
 		if r := recover(); r != nil {
 			job.fail(fmt.Sprintf("panic: %v", r))
 		}
+		s.mu.Lock()
+		delete(s.journals, job.journal)
+		s.mu.Unlock()
+		s.evictTerminal()
 	}()
 	if s.startHook != nil {
 		s.startHook(job)
@@ -290,10 +317,7 @@ func (s *Server) run(job *Job) {
 		job.fail(err.Error())
 		return
 	}
-	path := job.Spec.Journal
-	if path == "" {
-		path = filepath.Join(s.cfg.DataDir, job.ID+".jsonl")
-	}
+	path := job.journal
 	jn, err := st.AttachJournal(path, job.Spec.Resume)
 	if err != nil {
 		job.fail(fmt.Sprintf("journal: %v", err))
@@ -350,6 +374,34 @@ func (j *Job) fail(msg string) {
 // terminal reports whether the job reached done/failed.
 func (j *Job) terminal() bool {
 	return j.state == StateDone || j.state == StateFailed
+}
+
+// evictTerminal drops the oldest finished jobs beyond RetainJobs,
+// freeing their stream and render buffers. Queued and running jobs are
+// never evicted; clients still holding a *Job keep a valid pointer,
+// the job is just no longer addressable over HTTP.
+func (s *Server) evictTerminal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var finished []string
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		done := j.terminal()
+		j.mu.Unlock()
+		if done {
+			finished = append(finished, id)
+		}
+	}
+	for _, id := range finished[:max(0, len(finished)-s.cfg.RetainJobs)] {
+		delete(s.jobs, id)
+		for k, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:k], s.order[k+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // Handler returns the service's HTTP surface:

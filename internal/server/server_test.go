@@ -291,6 +291,111 @@ func TestQueueBackpressure(t *testing.T) {
 	}
 }
 
+// TestSubmitFloodKeepsMetricsConsistent is the regression for the
+// queue-full rollback race: a flood of concurrent submissions against a
+// tiny queue must never leave a ghost ID in the metrics order (which
+// used to panic /metrics), and every accepted job must finish.
+func TestSubmitFloodKeepsMetricsConsistent(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	release := make(chan struct{})
+	s.startHook = func(*Job) { <-release }
+	defer close(release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var accepted []string
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job, err := s.Submit(smokeSpec())
+			if err != nil {
+				if err != errQueueFull {
+					t.Errorf("submit: %v", err)
+				}
+				return
+			}
+			mu.Lock()
+			accepted = append(accepted, job.ID)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	// Every ID in the metrics order must resolve to a live job.
+	s.mu.Lock()
+	for _, id := range s.order {
+		if s.jobs[id] == nil {
+			t.Errorf("ghost job ID %s in order", id)
+		}
+	}
+	s.mu.Unlock()
+	if code, _ := get(t, ts, "/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics during flood: status %d", code)
+	}
+	if len(accepted) == 0 {
+		t.Fatal("no submissions accepted")
+	}
+}
+
+// TestDuplicateJournalRefused: two jobs naming the same journal path
+// must not run concurrently — the second is refused while the first is
+// queued or running, and accepted again once it finishes.
+func TestDuplicateJournalRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{Workers: 1, QueueCap: 4, DataDir: dir})
+	release := make(chan struct{})
+	var once sync.Once
+	s.startHook = func(*Job) { <-release }
+	defer once.Do(func() { close(release) })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := smokeSpec()
+	spec.Journal = filepath.Join(dir, "shared.jsonl")
+	id := submit(t, ts, spec)
+	if _, err := s.Submit(spec); err == nil {
+		t.Fatal("second job on an in-use journal was accepted")
+	}
+
+	once.Do(func() { close(release) })
+	if st := waitDone(t, ts, id); st.State != StateDone {
+		t.Fatalf("first job failed: %s", st.Error)
+	}
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatalf("journal not released after job finished: %v", err)
+	}
+}
+
+// TestTerminalJobEviction: finished jobs beyond RetainJobs are evicted
+// (freeing their buffers) oldest-first, while newer ones stay queryable.
+func TestTerminalJobEviction(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueCap: 8, RetainJobs: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id := submit(t, ts, smokeSpec())
+		if st := waitDone(t, ts, id); st.State != StateDone {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:2] {
+		if code, _ := get(t, ts, "/jobs/"+id); code != http.StatusNotFound {
+			t.Errorf("evicted job %s: status %d, want 404", id, code)
+		}
+	}
+	for _, id := range ids[2:] {
+		if code, _ := get(t, ts, "/jobs/"+id); code != http.StatusOK {
+			t.Errorf("retained job %s: status %d, want 200", id, code)
+		}
+	}
+}
+
 // TestDrainRefusesAndFinishes: Drain lets accepted jobs finish and
 // refuses new ones — the SIGTERM contract.
 func TestDrainRefusesAndFinishes(t *testing.T) {
