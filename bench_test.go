@@ -60,8 +60,10 @@ func BenchmarkFigure1ClosestVPCDF(b *testing.B) {
 // BenchmarkFigure1StudyShards regenerates Figure 1 through the sharded
 // campaign executor at K = 1, 2, 4. Results are identical at every K
 // (the equivalence tests assert it); what varies is wall-clock, which
-// tracks min(K, GOMAXPROCS) — the gomaxprocs metric records how much
-// hardware parallelism the run actually had.
+// tracks min(K, GOMAXPROCS, NumCPU) — the gomaxprocs and numcpu metrics
+// record how much hardware parallelism the run actually had, so scaling
+// gates (cmd/benchguard -min-speedup) can tell real regressions from
+// undersized hosts.
 func BenchmarkFigure1StudyShards(b *testing.B) {
 	for _, k := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
@@ -74,6 +76,7 @@ func BenchmarkFigure1StudyShards(b *testing.B) {
 				b.ReportMetric(sum.ReachableFrac, "reachable-frac")
 			}
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ReportMetric(float64(runtime.NumCPU()), "numcpu")
 		})
 	}
 }
@@ -360,6 +363,7 @@ func BenchmarkFleetSpinup(b *testing.B) {
 			b.ReportMetric(heap/(1<<20), "replica-heap-MB")
 			runtime.KeepAlive(pc)
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ReportMetric(float64(runtime.NumCPU()), "numcpu")
 		})
 	}
 }

@@ -15,6 +15,20 @@
 // trail a freshly added benchmark by one commit). Benchmarks matching
 // -pin that exist on both sides must stay within -tolerance; everything
 // else is informational.
+//
+// With -min-speedup N (> 0), the guard additionally enforces shard
+// scaling efficiency on the current run alone — no baseline needed:
+// among benchmark lines matching -scaling-pin (whose one capture group
+// is the shard count K), every K > 1 line must run at least N× faster
+// than the K = 1 line at the same GOMAXPROCS. The gate is host-aware:
+// a line is only eligible when the host could actually run K shards in
+// parallel — its procs and its numcpu metric (reported by the benchmark
+// itself; this process's runtime.NumCPU as fallback) must both be >= K.
+// On undersized hosts the gate prints what it skipped and passes, so a
+// laptop or a 1-CPU container never fails spuriously:
+//
+//	go test -bench 'Figure1StudyShards' -benchtime 2x -run '^$' . |
+//	    go run ./cmd/benchguard -baseline BENCH_parallel.json -min-speedup 3
 package main
 
 import (
@@ -24,6 +38,8 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
+	"strconv"
 
 	"recordroute/internal/benchfmt"
 )
@@ -33,6 +49,10 @@ import (
 // spin-up. A regression in any of their allocation counts is a
 // structural change, not noise.
 const defaultPin = `^(BenchmarkAblationDecode/reused|BenchmarkSimulatorForwarding|BenchmarkBuildVsClone|BenchmarkFleetSpinup)`
+
+// defaultScalingPin selects the shard-scaling benchmark family; the
+// capture group is the shard count K.
+const defaultScalingPin = `^BenchmarkFigure1StudyShards/shards=(\d+)$`
 
 // baseline mirrors the parts of cmd/benchjson's Record that the guard
 // reads back.
@@ -48,11 +68,18 @@ func main() {
 	basePath := flag.String("baseline", "BENCH_parallel.json", "baseline record written by cmd/benchjson")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional allocs/op increase over baseline")
 	pin := flag.String("pin", defaultPin, "regexp of benchmark names whose regressions fail the run")
+	minSpeedup := flag.Float64("min-speedup", 0, "when > 0, require shards=K lines (K>1) to beat shards=1 by this factor; host-aware no-op when numcpu or procs < K")
+	scalingPin := flag.String("scaling-pin", defaultScalingPin, "regexp selecting shard-scaling lines; capture group 1 is the shard count")
 	flag.Parse()
 
 	pinRE, err := regexp.Compile(*pin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard: bad -pin:", err)
+		os.Exit(2)
+	}
+	scalingRE, err := regexp.Compile(*scalingPin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: bad -scaling-pin:", err)
 		os.Exit(2)
 	}
 	raw, err := os.ReadFile(*basePath)
@@ -85,6 +112,7 @@ func main() {
 
 	failed := false
 	checked := 0
+	var lines []benchfmt.Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
@@ -92,6 +120,7 @@ func main() {
 		if !ok {
 			continue
 		}
+		lines = append(lines, r)
 		cur, ok := r.Metrics["allocs/op"]
 		if !ok {
 			continue
@@ -120,7 +149,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(2)
 	}
-	if checked == 0 {
+	scalingOK := true
+	if *minSpeedup > 0 {
+		scalingOK = checkScaling(lines, scalingRE, *minSpeedup)
+	}
+	// A run with no pinned allocs benchmark is a harness wiring error —
+	// unless the invocation is a scaling-gate run, whose input
+	// legitimately holds only the scaling benchmark family.
+	if checked == 0 && *minSpeedup <= 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: no pinned benchmark matched both the run and the baseline")
 		os.Exit(2)
 	}
@@ -128,5 +164,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: allocs/op regression beyond %.0f%% tolerance\n", *tolerance*100)
 		os.Exit(1)
 	}
+	if !scalingOK {
+		fmt.Fprintf(os.Stderr, "benchguard: shard scaling below the %.2fx floor\n", *minSpeedup)
+		os.Exit(1)
+	}
 	fmt.Printf("benchguard: %d pinned benchmark(s) within %.0f%% of baseline\n", checked, *tolerance*100)
+}
+
+// checkScaling enforces the -min-speedup floor over the current run's
+// shard-scaling lines: each shards=K (K>1) line is compared against the
+// shards=1 line at the same GOMAXPROCS. Lines on hosts that cannot run
+// K shards in parallel (procs < K, or the line's numcpu metric — this
+// process's runtime.NumCPU when absent — below K) are skipped with a
+// note instead of failing: undersized hardware is not a regression.
+func checkScaling(lines []benchfmt.Result, re *regexp.Regexp, min float64) bool {
+	base := make(map[int]benchfmt.Result) // GOMAXPROCS → shards=1 line
+	type scaledLine struct {
+		r benchfmt.Result
+		k int
+	}
+	var scaled []scaledLine
+	for _, r := range lines {
+		m := re.FindStringSubmatch(r.Name)
+		if m == nil || len(m) < 2 {
+			continue
+		}
+		k, err := strconv.Atoi(m[1])
+		if err != nil || k < 1 {
+			continue
+		}
+		if k == 1 {
+			base[r.Procs] = r
+		} else {
+			scaled = append(scaled, scaledLine{r, k})
+		}
+	}
+	ok := true
+	eligible := 0
+	for _, s := range scaled {
+		b, have := base[s.r.Procs]
+		if !have || b.NsPerOp <= 0 || s.r.NsPerOp <= 0 {
+			fmt.Printf("benchguard: %-50s no shards=1 line at procs=%d, scaling unchecked\n", s.r.Name, s.r.Procs)
+			continue
+		}
+		ncpu := runtime.NumCPU()
+		if v, has := s.r.Metrics["numcpu"]; has && v > 0 {
+			ncpu = int(v)
+		}
+		if s.r.Procs < s.k || ncpu < s.k {
+			fmt.Printf("benchguard: %-50s scaling gate skipped: host undersized (procs=%d numcpu=%d < shards=%d)\n",
+				s.r.Name, s.r.Procs, ncpu, s.k)
+			continue
+		}
+		eligible++
+		speedup := b.NsPerOp / s.r.NsPerOp
+		status := "ok"
+		if speedup < min {
+			status = "SCALING REGRESSION"
+			ok = false
+		}
+		fmt.Printf("benchguard: %-50s %.2fx speedup over shards=1 (floor %.2fx)  %s\n",
+			s.r.Name, speedup, min, status)
+	}
+	if eligible == 0 {
+		fmt.Println("benchguard: scaling gate: no eligible line on this host; skipping")
+	}
+	return ok
 }

@@ -4,11 +4,14 @@
 // BENCH_parallel.json). Only the standard library is used.
 //
 // Each benchmark line becomes an object holding the iteration count,
-// ns/op, the GOMAXPROCS the line ran under, and every extra metric the
-// benchmark reported (B/op, allocs/op, and custom ReportMetric values
-// such as reachable-frac or spinup-ms). Non-benchmark lines are
-// ignored, so the tool can consume raw `go test` output directly —
-// including several concatenated runs at different GOMAXPROCS:
+// ns/op, the GOMAXPROCS the line ran under, the CPU count the host had
+// (from the benchmark's own numcpu ReportMetric when present, else this
+// process's runtime.NumCPU — per line, because concatenated runs may
+// come from different hosts), and every extra metric the benchmark
+// reported (B/op, allocs/op, and custom ReportMetric values such as
+// reachable-frac or spinup-ms). Non-benchmark lines are ignored, so the
+// tool can consume raw `go test` output directly — including several
+// concatenated runs at different GOMAXPROCS:
 //
 //	go test -bench 'Figure1' -benchtime 1x . | go run ./cmd/benchjson
 //
@@ -32,6 +35,7 @@ import (
 type Result struct {
 	Name       string             `json:"name"`
 	Procs      int                `json:"procs"`
+	NumCPU     int                `json:"numcpu"`
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
@@ -74,9 +78,14 @@ func main() {
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
 		if r, ok := benchfmt.ParseLine(sc.Text()); ok {
+			ncpu := runtime.NumCPU()
+			if v, ok := r.Metrics["numcpu"]; ok && v > 0 {
+				ncpu = int(v)
+			}
 			rec.Results = append(rec.Results, Result{
 				Name:       r.Name,
 				Procs:      r.Procs,
+				NumCPU:     ncpu,
 				Iterations: r.Iterations,
 				NsPerOp:    r.NsPerOp,
 				Metrics:    r.Metrics,

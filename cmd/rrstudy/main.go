@@ -20,6 +20,12 @@
 // (or vp=<name>) records the matching probe lifecycles and router
 // events as JSON lines in -trace-out. Neither changes what a run
 // measures.
+//
+// Profiling: -cpuprofile/-memprofile/-mutexprofile/-blockprofile write
+// runtime/pprof captures of the run, for diagnosing campaign
+// performance (shard scaling in particular) on real workloads rather
+// than benchmarks. Mutex and block profiling are only switched on when
+// their flags are set — both add sampling overhead.
 package main
 
 import (
@@ -31,6 +37,8 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -87,8 +95,33 @@ func main() {
 		traceOut   = flag.String("trace-out", "trace.jsonl", "file the -trace events are written to, as JSON lines")
 		perNode    = flag.Bool("metrics-per-node", false, "break the -metrics snapshot down by emitting router/host")
 		progress   = flag.Bool("progress", false, "print a live per-experiment progress line to stderr")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile taken at exit to this file")
+		blockProfile = flag.String("blockprofile", "", "write a goroutine-blocking profile taken at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	// Deferred: a run killed by log.Fatal writes no profiles, which is
+	// fine — partial captures of a failed run mislead more than they help.
+	defer writeExitProfiles(*memProfile, *mutexProfile, *blockProfile)
 
 	start := time.Now()
 	sizing := recordroute.WithScaleProfile(*scale)
@@ -253,6 +286,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "# raw results archived to %s\n", *dump)
 	}
 	fmt.Fprintf(os.Stderr, "\n# total wall time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeExitProfiles flushes the end-of-run pprof captures that only
+// make sense once the campaign has finished: allocation totals, mutex
+// contention, and goroutine blocking. Empty paths are skipped.
+func writeExitProfiles(mem, mutex, block string) {
+	write := func(path, profile string, gcFirst bool) {
+		if path == "" {
+			return
+		}
+		if gcFirst {
+			runtime.GC() // settle heap stats so the profile reflects the run
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Print(err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
+			log.Print(err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "# %s profile written to %s\n", profile, path)
+	}
+	write(mem, "allocs", true)
+	write(mutex, "mutex", false)
+	write(block, "block", false)
 }
 
 // writeFileAtomic writes through a temp file in the destination

@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"recordroute/internal/netsim"
@@ -21,9 +22,12 @@ import (
 // by their campaign index, so each VP's complete probe stream — pacing,
 // source-proximate policer interactions, timeouts — plays out inside
 // exactly one replica, bit-for-bit as it would inside the single shared
-// engine. Shards run on a runtime.GOMAXPROCS-sized worker pool and the
-// per-shard result maps merge back into the exact per-VP ordering the
-// sequential Campaign produces.
+// engine. Each primitive dispatches the live shards over a work-stealing
+// group of at most min(shards, GOMAXPROCS, NumCPU) goroutines — or
+// inline on the caller's goroutine when that bound is one, so a
+// single-shard fleet (or a single-CPU host) pays zero scheduling
+// overhead — and the per-shard result maps merge back into the exact
+// per-VP ordering the sequential Campaign produces.
 //
 // Determinism contract: for workloads whose only cross-VP coupling is
 // through destination-side state that stays inactive (edge policers
@@ -64,15 +68,81 @@ var (
 // (with their original campaign prober IDs) assigned to it. A replica
 // that panics during a primitive is marked dead and carries the
 // recovered failure; dead replicas are excluded from every later
-// primitive and clock sync. Only the replica's own worker goroutine
-// writes dead/err, and readers run after the pool joins, so no lock.
+// primitive and clock sync. During a dispatch exactly one goroutine
+// runs a given replica (work-stealing hands each index out once), so
+// only that goroutine writes dead/err, and readers run after the
+// dispatch joins — no lock.
 type replica struct {
+	idx  int // shard index within the fleet
 	topo *topology.Topology
 	eng  *netsim.Engine
 	vps  []*VantagePoint
 
 	dead bool
 	err  error
+}
+
+// run executes fn against the replica with panic containment: a panic
+// kills only this shard — it is recovered, the replica is marked dead,
+// and later primitives and clock syncs skip it, so the surviving shards
+// keep producing results (the Fleet partial-results contract).
+func (rep *replica) run(fn func(*replica)) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep.dead = true
+			rep.err = fmt.Errorf("shard %d panicked at t=%v: %v\n%s",
+				rep.idx, rep.eng.Now(), r, debug.Stack())
+		}
+	}()
+	fn(rep)
+}
+
+// effectiveWorkers bounds a dispatch's goroutine count: no more than
+// one per work item, and no more than the host can actually run in
+// parallel. GOMAXPROCS alone is not enough — a 1-CPU host with
+// GOMAXPROCS=4 would spawn four goroutines to time-slice one core,
+// which is pure overhead (the confound behind the original "negative
+// scaling" baseline numbers).
+func effectiveWorkers(n int) int {
+	if p := runtime.GOMAXPROCS(0); p < n {
+		n = p
+	}
+	if c := runtime.NumCPU(); c < n {
+		n = c
+	}
+	return n
+}
+
+// forShards runs fn once per replica in reps. With an effective worker
+// bound of one the loop runs inline on the caller's goroutine — no
+// spawn, no synchronization; otherwise a work-stealing group of w
+// goroutines pulls replica indices from a shared atomic counter until
+// the list is drained. Goroutines live only for the dispatch, so
+// campaigns hold no pool to leak and idle fleets cost nothing.
+func forShards(reps []*replica, fn func(*replica)) {
+	w := effectiveWorkers(len(reps))
+	if w <= 1 {
+		for _, rep := range reps {
+			rep.run(fn)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reps) {
+					return
+				}
+				reps[i].run(fn)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // ShardError reports one shard that failed during a primitive: the
@@ -165,22 +235,40 @@ func (pc *ParallelCampaign) init() error {
 		pc.replicas = make([]*replica, k)
 		start := 0
 		if firstIsSource {
-			pc.replicas[0] = &replica{topo: src, eng: src.Net.Engine()}
+			pc.replicas[0] = &replica{idx: 0, topo: src, eng: src.Net.Engine()}
 			start = 1
 		}
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for s := start; s < k; s++ {
-			wg.Add(1)
-			go func(s int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				topo := snap.Clone()
-				pc.replicas[s] = &replica{topo: topo, eng: topo.Net.Engine()}
-			}(s)
+		// Stamp out the remaining clones with the same bounded dispatch
+		// primitives use: inline when one worker suffices (single shard,
+		// or a host with one usable CPU), work-stealing goroutines
+		// otherwise. Distinct goroutines write distinct replicas slots.
+		clone := func(s int) {
+			topo := snap.Clone()
+			pc.replicas[s] = &replica{idx: s, topo: topo, eng: topo.Net.Engine()}
 		}
-		wg.Wait()
+		if w := effectiveWorkers(k - start); w <= 1 {
+			for s := start; s < k; s++ {
+				clone(s)
+			}
+		} else {
+			var next atomic.Int64
+			next.Store(int64(start))
+			var wg sync.WaitGroup
+			wg.Add(w)
+			for g := 0; g < w; g++ {
+				go func() {
+					defer wg.Done()
+					for {
+						s := int(next.Add(1)) - 1
+						if s >= k {
+							return
+						}
+						clone(s)
+					}
+				}()
+			}
+			wg.Wait()
+		}
 		// Partition VPs round-robin by campaign index, keeping the
 		// sequential prober ID assignment (0x4000+i) so wire images and
 		// reply matching are identical to Campaign's.
@@ -234,35 +322,18 @@ func (pc *ParallelCampaign) VPNames() []string {
 	return pc.vpNames
 }
 
-// eachShard runs fn per live replica on a GOMAXPROCS-sized worker pool
-// and waits for all of them; fn owns its replica's engine for the
-// duration. A panic inside fn kills only its own shard: it is
-// recovered here, the replica is marked dead, and later primitives and
-// clock syncs skip it, so the surviving shards keep producing results
-// (the Fleet partial-results contract). ShardErrors reports the loss.
+// eachShard runs fn once per live replica via forShards (inline or
+// work-stealing, see there); fn owns its replica's engine for the
+// duration, and shard panics are contained per-replica (replica.run).
+// ShardErrors reports any losses afterwards.
 func (pc *ParallelCampaign) eachShard(fn func(*replica)) {
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, rep := range pc.replicas {
-		if rep.dead {
-			continue
+	live := pc.replicas[:0:0]
+	for _, rep := range pc.replicas {
+		if !rep.dead {
+			live = append(live, rep)
 		}
-		wg.Add(1)
-		go func(i int, rep *replica) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			defer func() {
-				if r := recover(); r != nil {
-					rep.dead = true
-					rep.err = fmt.Errorf("shard %d panicked at t=%v: %v\n%s",
-						i, rep.eng.Now(), r, debug.Stack())
-				}
-			}()
-			fn(rep)
-		}(i, rep)
 	}
-	wg.Wait()
+	forShards(live, fn)
 }
 
 // ShardErrors reports the shards that died during earlier primitives,
@@ -383,15 +454,23 @@ func (pc *ParallelCampaign) replaySeqs(name string, n int) {
 	}
 }
 
-// Run drains every shard engine on the worker pool and re-synchronizes
-// the fleet clocks. On a journaled campaign the drain is a phase of its
-// own: probes started directly on VPs (origin batches, alias collects)
-// are cheap single-VP work that a resumed run deterministically
-// re-executes rather than archives.
+// Run drains every shard engine with pending events and re-synchronizes
+// the fleet clocks. Only dirty shards are dispatched: probes started
+// directly on VPs (origin batches, alias collects) usually touch one
+// shard, and draining the other K-1 idle engines — even inline — is
+// wasted work between every phase of a study. On a journaled campaign
+// the drain is a phase of its own: such single-VP work is cheap and a
+// resumed run deterministically re-executes it rather than archives it.
 func (pc *ParallelCampaign) Run() {
 	pc.mustInit()
 	phase, journaled := pc.beginPhase("run")
-	pc.eachShard(func(rep *replica) { rep.eng.Run() })
+	dirty := pc.replicas[:0:0]
+	for _, rep := range pc.replicas {
+		if !rep.dead && rep.eng.Pending() > 0 {
+			dirty = append(dirty, rep)
+		}
+	}
+	forShards(dirty, func(rep *replica) { rep.eng.Run() })
 	pc.syncClocks()
 	pc.endPhase(phase, journaled)
 }

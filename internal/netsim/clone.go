@@ -57,11 +57,12 @@ func (n *Network) Freeze() {
 func (n *Network) Clone() *Network {
 	n.Freeze()
 	c := &Network{
-		engine:  NewEngine(),
-		nodes:   make([]Node, 0, len(n.nodes)),
-		nameIdx: n.nameIdx,
-		ifaces:  make([]*Iface, len(n.ifaces)),
-		lossRNG: lossSeed,
+		engine:   NewEngine(),
+		nodes:    make([]Node, 0, len(n.nodes)),
+		nameIdx:  n.nameIdx,
+		ifaces:   make([]*Iface, len(n.ifaces)),
+		lossRNG:  lossSeed,
+		counters: newCounters(),
 	}
 	// Replica structs come from per-kind blocks (one allocation each, not
 	// one per node/interface): clone cost is GC-bound, and tens of

@@ -122,6 +122,29 @@ func NumCounters() int {
 	return len(counterReg.names)
 }
 
+// counterPad is the number of spare uint64 slots placed on each side of
+// a freshly allocated counter slice. Shard replicas bump their counters
+// concurrently during parallel campaigns; without padding, counter
+// slices allocated back-to-back can land on the same cache line and the
+// independent per-shard increments turn into cross-core false sharing.
+// Eight slots = 64 bytes = one cache line on every platform we run on.
+const counterPad = 8
+
+// newCounters allocates a counter slice sized to the current registry,
+// padded with counterPad slots on both sides. The full slice expression
+// caps the result at its length, so a later append (registry grown after
+// allocation) reallocates instead of overwriting the trailing pad. That
+// growth path drops the padding — acceptable: it only triggers for
+// counters interned after the network was built, which by construction
+// are cold.
+func newCounters() []uint64 {
+	counterReg.Lock()
+	n := len(counterReg.names)
+	counterReg.Unlock()
+	buf := make([]uint64, counterPad+n+counterPad)
+	return buf[counterPad : counterPad+n : counterPad+n]
+}
+
 // Pre-interned IDs for the per-packet hot paths.
 var (
 	cLinkTx         = CounterID("link.tx")

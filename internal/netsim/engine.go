@@ -15,22 +15,44 @@ import (
 	"time"
 )
 
-// event is a scheduled occurrence in virtual time: either a callback
+// event is the payload of a scheduled occurrence: either a callback
 // (fn != nil) or a packet delivery (pkt/dst set). Packet deliveries are
 // a dedicated event kind so the per-packet hot path schedules no closure
 // and the engine can recycle the buffer once the receiver returns.
+// Payloads live in the engine's slab (see Engine), not in the heap
+// array.
 type event struct {
-	at  time.Duration
-	seq uint64 // FIFO tie-break for equal timestamps: determinism
 	fn  func()
 	pkt []byte
 	dst *Iface
 }
 
+// heapEntry is one slot of the scheduling heap: the (at, seq) ordering
+// key plus the slab index of the event payload. Splitting key from
+// payload matters twice over on shard fleets: sift swaps move 24-byte
+// pointer-free entries instead of 56-byte events (queue depths reach
+// tens of thousands, and sift moves dominated the Figure 1 CPU
+// profile), and because heapEntry contains no pointers the GC never
+// scans the heap array at all — with K replica engines alive, K queues'
+// worth of scan work used to multiply into every GC cycle.
+type heapEntry struct {
+	at  time.Duration
+	seq uint64 // FIFO tie-break for equal timestamps: determinism
+	idx int32  // payload slot in Engine.slab
+}
+
 // Engine is the discrete-event scheduler. It is not safe for concurrent
 // use; the whole simulation is single-threaded and deterministic.
+//
+// Event payloads are arena-backed: they live in a per-engine slab whose
+// slots are recycled through a free list, so scheduling allocates no
+// per-event objects and a fleet of K engines keeps K slabs — a handful
+// of large, mostly-stable heap objects — instead of K growing
+// populations of small ones for the GC to trace.
 type Engine struct {
-	pq   []event // binary min-heap ordered by (at, seq)
+	pq   []heapEntry // d-ary min-heap ordered by (at, seq); pointer-free
+	slab []event     // event payload arena, indexed by heapEntry.idx
+	free []int32     // recycled slab slots
 	now  time.Duration
 	seq  uint64
 	nRun uint64
@@ -45,6 +67,18 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.nRun }
 
+// alloc places an event payload into the slab and returns its slot.
+func (e *Engine) alloc(ev event) int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.slab[idx] = ev
+		return idx
+	}
+	e.slab = append(e.slab, ev)
+	return int32(len(e.slab) - 1)
+}
+
 // Schedule runs fn after delay d of virtual time. A negative delay is
 // treated as zero. Events scheduled for the same instant run in
 // scheduling order.
@@ -53,7 +87,7 @@ func (e *Engine) Schedule(d time.Duration, fn func()) {
 		d = 0
 	}
 	e.seq++
-	e.push(event{at: e.now + d, seq: e.seq, fn: fn})
+	e.push(heapEntry{at: e.now + d, seq: e.seq, idx: e.alloc(event{fn: fn})})
 }
 
 // scheduleDelivery enqueues a packet delivery to dst after delay d,
@@ -64,7 +98,7 @@ func (e *Engine) scheduleDelivery(d time.Duration, pkt []byte, dst *Iface) {
 		d = 0
 	}
 	e.seq++
-	e.push(event{at: e.now + d, seq: e.seq, pkt: pkt, dst: dst})
+	e.push(heapEntry{at: e.now + d, seq: e.seq, idx: e.alloc(event{pkt: pkt, dst: dst})})
 }
 
 // At runs fn at absolute virtual time t (or now, if t is in the past).
@@ -97,11 +131,14 @@ func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
 func (e *Engine) Pending() int { return len(e.pq) }
 
 func (e *Engine) step() {
-	ev := e.pop()
-	if ev.at > e.now {
-		e.now = ev.at
+	top := e.pop()
+	if top.at > e.now {
+		e.now = top.at
 	}
 	e.nRun++
+	ev := e.slab[top.idx]
+	e.slab[top.idx] = event{} // release buffer/closure references
+	e.free = append(e.free, top.idx)
 	if ev.fn != nil {
 		ev.fn()
 		return
@@ -112,11 +149,12 @@ func (e *Engine) step() {
 }
 
 // The heap is hand-rolled rather than container/heap: the interface
-// indirection there boxes one event per Push/Pop, which dominates
+// indirection there boxes one entry per Push/Pop, which dominates
 // allocation in packet-heavy runs. It is 4-ary rather than binary —
 // batch campaigns pre-schedule every paced send, so the queue holds tens
-// of thousands of events and the halved depth cuts the struct moves that
-// dominate sift costs.
+// of thousands of entries and the halved depth cuts the struct moves
+// that dominate sift costs. Entries carry only (at, seq, slab index),
+// so comparisons never chase a pointer and swaps stay small.
 
 func (e *Engine) less(i, j int) bool {
 	if e.pq[i].at != e.pq[j].at {
@@ -125,8 +163,8 @@ func (e *Engine) less(i, j int) bool {
 	return e.pq[i].seq < e.pq[j].seq
 }
 
-func (e *Engine) push(ev event) {
-	e.pq = append(e.pq, ev)
+func (e *Engine) push(ent heapEntry) {
+	e.pq = append(e.pq, ent)
 	i := len(e.pq) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -138,11 +176,10 @@ func (e *Engine) push(ev event) {
 	}
 }
 
-func (e *Engine) pop() event {
+func (e *Engine) pop() heapEntry {
 	top := e.pq[0]
 	n := len(e.pq) - 1
 	e.pq[0] = e.pq[n]
-	e.pq[n] = event{} // release buffer/closure references
 	e.pq = e.pq[:n]
 	i := 0
 	for {

@@ -110,6 +110,7 @@ type Network struct {
 	lossRNG  uint64         // xorshift state for deterministic loss draws
 	hook     func(at time.Duration, counter string)
 	bufs     [][]byte // free list of serialization buffers
+	bufSlab  []byte   // arena the free list's buffers are carved from
 
 	// Observability hooks (see obs.go); both nil/off by default so the
 	// per-packet paths pay only a nil check.
@@ -117,21 +118,42 @@ type Network struct {
 	nodeCounts map[string][]uint64 // node name → counters by ID
 }
 
+// bufCap is the capacity of pooled packet buffers: 128 bytes covers an
+// IPv4 header, a 40-byte RR/TS option, and every payload the simulator
+// generates. A packet that outgrows it reallocates out of the arena (the
+// append in AppendTo copies to a fresh heap slice) and simply never
+// returns to the pool — putBuf screens on capacity.
+const bufCap = 128
+
+// bufSlabSize is the arena growth quantum: 256 buffers (32 KiB) at a
+// time, so the steady-state pool for a whole replica lives in a handful
+// of large pointer-free allocations the GC scans in O(slabs), not
+// O(packets in flight).
+const bufSlabSize = 256 * bufCap
+
 // getBuf returns an empty buffer for packet serialization, reusing a
-// recycled one when available. Buffers flow: getBuf → AppendTo →
-// Iface.Send → delivery → putBuf. Receivers must never retain delivered
-// packet bytes beyond Receive (the long-standing Send/sniffer contract),
-// which is what makes the recycling safe.
+// recycled one when available and carving a fresh one from the buffer
+// arena otherwise. Buffers flow: getBuf → AppendTo → Iface.Send →
+// delivery → putBuf. Receivers must never retain delivered packet bytes
+// beyond Receive (the long-standing Send/sniffer contract), which is
+// what makes the recycling safe.
 func (n *Network) getBuf() []byte {
 	if len(n.bufs) == 0 {
-		return make([]byte, 0, 128)
+		if len(n.bufSlab) < bufCap {
+			n.bufSlab = make([]byte, bufSlabSize)
+		}
+		b := n.bufSlab[:0:bufCap]
+		n.bufSlab = n.bufSlab[bufCap:]
+		return b
 	}
 	b := n.bufs[len(n.bufs)-1]
 	n.bufs = n.bufs[:len(n.bufs)-1]
 	return b
 }
 
-// putBuf returns a packet buffer to the free list.
+// putBuf returns a packet buffer to the free list. Buffers that grew
+// past bufCap escaped the arena on their growth append; recycling them
+// anyway is fine — the pool tracks slices, not arena offsets.
 func (n *Network) putBuf(b []byte) {
 	if cap(b) == 0 {
 		return
@@ -144,12 +166,16 @@ func (n *Network) putBuf(b []byte) {
 // build.
 const lossSeed = 0x9e3779b97f4a7c15
 
-// New returns an empty network with a fresh engine.
+// New returns an empty network with a fresh engine. Counters are
+// preallocated to the interned-registry size (cache-line padded, see
+// newCounters) so hot-path CountID never grows the slice and parallel
+// shard replicas never share a counter cache line.
 func New() *Network {
 	return &Network{
-		engine:  NewEngine(),
-		byName:  make(map[string]Node),
-		lossRNG: lossSeed,
+		engine:   NewEngine(),
+		byName:   make(map[string]Node),
+		lossRNG:  lossSeed,
+		counters: newCounters(),
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package recordroute
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package recordroute
+
+// raceEnabled reports whether this test binary was built with -race;
+// timing-sensitive tests skip under it.
+const raceEnabled = true
