@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-guard bench-scaling bench-metrics bench-all race study serve fuzz cover examples clean
+.PHONY: all build test vet bench bench-guard bench-scaling bench-metrics bench-all race chaos study serve fuzz cover examples clean
 
 all: build test
 
@@ -75,6 +75,16 @@ bench-all:
 # simulator substrate it runs replicas of, and the campaign service.
 race:
 	$(GO) test -race ./internal/measure/... ./internal/netsim/... ./internal/study/... ./internal/probe/... ./internal/server/...
+
+# Service-level chaos harness (DESIGN.md §13): deterministic fault
+# injection — workers killed mid-phase, journal writes failing at the
+# Nth byte, daemon kill + restart + resume, drain racing live streams,
+# stalled /stream readers — under the race detector with shuffled test
+# order, so lifecycle invariants hold regardless of scheduling.
+chaos:
+	$(GO) test -race -shuffle=on \
+		-run 'TestChaos|TestCancel|TestJobDeadline|TestWorkerPanic|TestStreamWriteDeadline|TestDrain|TestJournal|TestParallelCancel|TestCampaignCancel' \
+		./internal/server ./internal/measure
 
 # Reproduce every table and figure at full default scale (~30 s).
 study:

@@ -7,23 +7,32 @@
 // Usage:
 //
 //	rrstudyd [-addr :8080] [-workers 2] [-queue 16] [-cache 4] [-data DIR]
+//	         [-job-deadline 30m] [-max-retries 2] [-retry-backoff 500ms]
+//	         [-journal-fsync] [-stream-timeout 30s]
 //
 // Endpoints:
 //
-//	POST /jobs                submit {"experiment":"table1","scale":0.25,...}
-//	GET  /jobs/{id}           status + progress
-//	GET  /jobs/{id}/stream    live JSONL result stream
-//	GET  /jobs/{id}/render    the finished table
-//	GET  /metrics             Prometheus text format
-//	GET  /healthz             liveness
+//	POST   /jobs              submit {"experiment":"table1","scale":0.25,...}
+//	GET    /jobs/{id}         status + progress
+//	DELETE /jobs/{id}         cancel (honored at the next checkpoint)
+//	GET    /jobs/{id}/stream  live JSONL result stream
+//	GET    /jobs/{id}/render  the finished table
+//	GET    /metrics           Prometheus text format
+//	GET    /healthz           liveness
+//	GET    /readyz            readiness (503 while draining)
 //
 // Submissions beyond the queue capacity are refused with 503 (and a
 // Retry-After), so a flood degrades into backpressure rather than
-// memory growth. SIGTERM/SIGINT drain gracefully: accepted jobs finish,
-// new ones are refused, then the listener closes. A SIGKILL mid-run is
-// also safe — each job's journal keeps its completed batches, and
-// resubmitting with {"journal": "<path>", "resume": true} picks up
-// where it stopped (DESIGN.md §11).
+// memory growth. Failed attempts are classified (DESIGN.md §13):
+// environmental failures — a crashed worker, a dead shard, an expired
+// -job-deadline — are retried up to -max-retries times with capped
+// exponential backoff, each retry resuming from the job's journal;
+// deterministic failures (bad spec, topology build) fail immediately.
+// SIGTERM/SIGINT drain gracefully: accepted jobs finish, new ones are
+// refused, then the listener closes. A SIGKILL mid-run is also safe —
+// each job's journal keeps its completed batches, and resubmitting
+// with {"journal": "<path>", "resume": true} picks up where it stopped
+// (DESIGN.md §11).
 package main
 
 import (
@@ -49,14 +58,40 @@ func main() {
 		queue   = flag.Int("queue", 16, "accepted-but-not-running jobs before submissions get 503")
 		cache   = flag.Int("cache", 4, "frozen topology planes kept (distinct configs)")
 		data    = flag.String("data", "", "journal directory (default: <tmp>/rrstudyd)")
+
+		deadline = flag.Duration("job-deadline", 30*time.Minute,
+			"wall-clock budget per job attempt; an expired attempt is retried resuming from its journal (0 = unlimited)")
+		retries = flag.Int("max-retries", 2,
+			"retry budget per job for environmental failures (0 disables retries)")
+		backoff = flag.Duration("retry-backoff", 500*time.Millisecond,
+			"delay before a job's first retry; doubles per retry, capped at 30s")
+		fsync = flag.Bool("journal-fsync", false,
+			"fsync the journal after every checkpoint (crash-safe past machine crashes, at an I/O cost)")
+		streamTO = flag.Duration("stream-timeout", 30*time.Second,
+			"per-write deadline for /stream clients; stalled readers are dropped (0 = never)")
 	)
 	flag.Parse()
 
+	// Config uses 0 = "the default (2)" and negative = "disabled"; at the
+	// flag surface 0 means what an operator expects — no retries.
+	maxRetries := *retries
+	if maxRetries <= 0 {
+		maxRetries = -1
+	}
+	streamTimeout := *streamTO
+	if streamTimeout <= 0 {
+		streamTimeout = -1
+	}
 	svc, err := server.New(server.Config{
-		Workers:  *workers,
-		QueueCap: *queue,
-		CacheCap: *cache,
-		DataDir:  *data,
+		Workers:            *workers,
+		QueueCap:           *queue,
+		CacheCap:           *cache,
+		DataDir:            *data,
+		JobDeadline:        *deadline,
+		MaxRetries:         maxRetries,
+		RetryBackoff:       *backoff,
+		JournalFsync:       *fsync,
+		StreamWriteTimeout: streamTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -65,7 +100,8 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
+	log.Printf("listening on %s (%d workers, queue %d, cache %d, deadline %v, retries %d)",
+		*addr, *workers, *queue, *cache, *deadline, *retries)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"net/netip"
 
 	"recordroute/internal/netsim"
@@ -60,6 +61,7 @@ type Campaign struct {
 	VPs []*VantagePoint
 
 	byName map[string]*VantagePoint
+	ctx    context.Context // nil unless cancellation is armed (SetContext)
 }
 
 // NewCampaign builds a campaign over the given topology VPs (any mix of
@@ -84,8 +86,19 @@ func (c *Campaign) VP(name string) *VantagePoint {
 	return c.byName[name]
 }
 
+// SetContext arms cooperative cancellation, checked at the start of
+// every primitive: once ctx is done the next primitive aborts with a
+// Canceled panic (classify via CanceledFrom) instead of starting more
+// probes. The single shared engine has no per-shard containment, so
+// unlike ParallelCampaign there is no per-batch checkpoint abort — a
+// running drain always completes.
+func (c *Campaign) SetContext(ctx context.Context) { c.ctx = ctx }
+
 // Run drains the engine's event queue.
-func (c *Campaign) Run() { c.Eng.Run() }
+func (c *Campaign) Run() {
+	checkCanceled(c.ctx)
+	c.Eng.Run()
+}
 
 // ShardErrors always returns nil: the single shared engine has no
 // shard boundary to contain a failure, so a panic propagates to the
@@ -96,6 +109,7 @@ func (c *Campaign) ShardErrors() []ShardError { return nil }
 // dests (per-VP order may be permuted via orderFor) and returns results
 // keyed by VP name, in that VP's send order.
 func (c *Campaign) PingRRAll(dests []netip.Addr, opts probe.Options, orderFor func(vp string, dests []netip.Addr) []netip.Addr) map[string][]probe.Result {
+	checkCanceled(c.ctx)
 	out := make(map[string][]probe.Result, len(c.VPs))
 	for _, vp := range c.VPs {
 		vp := vp
@@ -111,6 +125,7 @@ func (c *Campaign) PingRRAll(dests []netip.Addr, opts probe.Options, orderFor fu
 
 // PingAll sends count plain pings per destination from every VP.
 func (c *Campaign) PingAll(dests []netip.Addr, count int, opts probe.Options) map[string][][]probe.Result {
+	checkCanceled(c.ctx)
 	out := make(map[string][][]probe.Result, len(c.VPs))
 	for _, vp := range c.VPs {
 		vp := vp
@@ -122,6 +137,7 @@ func (c *Campaign) PingAll(dests []netip.Addr, count int, opts probe.Options) ma
 
 // PingRRUDPAll sends one ping-RRudp from every VP to its listed targets.
 func (c *Campaign) PingRRUDPAll(perVP map[string][]netip.Addr, opts probe.Options) map[string][]probe.Result {
+	checkCanceled(c.ctx)
 	out := make(map[string][]probe.Result, len(c.VPs))
 	for _, vp := range c.VPs {
 		vp := vp
@@ -138,6 +154,7 @@ func (c *Campaign) PingRRUDPAll(perVP map[string][]netip.Addr, opts probe.Option
 // PingTSAll sends one Internet Timestamp probe from every VP to every
 // destination.
 func (c *Campaign) PingTSAll(dests []netip.Addr, opts probe.Options) map[string][]probe.Result {
+	checkCanceled(c.ctx)
 	out := make(map[string][]probe.Result, len(c.VPs))
 	for _, vp := range c.VPs {
 		vp := vp
@@ -149,6 +166,7 @@ func (c *Campaign) PingTSAll(dests []netip.Addr, opts probe.Options) map[string]
 
 // TracerouteAll traces each VP's listed targets.
 func (c *Campaign) TracerouteAll(perVP map[string][]netip.Addr, opts TraceOptions) map[string][]Trace {
+	checkCanceled(c.ctx)
 	out := make(map[string][]Trace, len(c.VPs))
 	for _, vp := range c.VPs {
 		vp := vp
@@ -165,6 +183,7 @@ func (c *Campaign) TracerouteAll(perVP map[string][]netip.Addr, opts TraceOption
 // TTLPingRRAll sends TTL-limited ping-RRs: per VP, targets[i] probed
 // with ttls[i].
 func (c *Campaign) TTLPingRRAll(perVP map[string][]netip.Addr, ttls map[string][]uint8, opts probe.Options) map[string][]probe.Result {
+	checkCanceled(c.ctx)
 	out := make(map[string][]probe.Result, len(c.VPs))
 	for _, vp := range c.VPs {
 		vp := vp

@@ -63,16 +63,33 @@ type archivedVP struct {
 	groups  [][]probe.Result
 }
 
+// WriteShim, when non-nil, wraps the writer behind every journal
+// opened afterwards — the fault-injection seam the service-level chaos
+// harness uses to fail journal writes at a chosen byte without touching
+// the filesystem. Production code leaves it nil (writes go straight to
+// the file). Not safe to flip while journals are being created; set it
+// in a test, restore it with defer.
+var WriteShim func(path string, f *os.File) io.Writer
+
 // Journal is a campaign's incremental result sink and checkpoint: it
 // streams every completed per-VP batch to disk as a JSONL line and, on
 // resume, hands completed batches back so the fleet skips re-probing
 // them. Attach one to a ParallelCampaign before its first primitive.
 // Methods are safe for concurrent use from shard workers.
+//
+// Write failures degrade instead of crashing: the first failed write
+// disables further journaling, the error is retained (Degraded), and
+// the campaign keeps running un-checkpointed — a full disk costs the
+// ability to resume, never the job. The file keeps its valid JSONL
+// prefix (plus at most one torn line, which resume discards).
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	enc  *json.Encoder
-	meta JournalMeta
+	mu       sync.Mutex
+	f        *os.File
+	w        io.Writer // f, possibly wrapped by WriteShim
+	enc      *json.Encoder
+	meta     JournalMeta
+	fsync    bool
+	degraded error // first write/sync failure; once set, writes stop
 
 	phase      int // next phase index to hand out
 	phaseKinds map[int]string
@@ -92,7 +109,8 @@ func CreateJournal(path string, meta JournalMeta) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := newJournal(f, meta)
+	j := newJournal(nil, meta)
+	j.attach(f, path)
 	if err := j.enc.Encode(journalLine{T: "meta", Meta: &meta}); err != nil {
 		f.Close()
 		return nil, err
@@ -189,26 +207,60 @@ func ResumeJournal(path string, meta JournalMeta) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
-	j.f = f
-	j.enc = json.NewEncoder(f)
+	j.attach(f, path)
 	return j, nil
 }
 
 func newJournal(f *os.File, meta JournalMeta) *Journal {
 	j := &Journal{
-		f:          f,
 		meta:       meta,
 		phaseKinds: make(map[int]string),
 		archived:   make(map[string]*archivedVP),
 	}
 	if f != nil {
-		j.enc = json.NewEncoder(f)
+		j.attach(f, f.Name())
 	}
 	return j
 }
 
+// attach binds the journal to its open file, routing writes through
+// the chaos shim when one is installed.
+func (j *Journal) attach(f *os.File, path string) {
+	j.f = f
+	j.w = io.Writer(f)
+	if WriteShim != nil {
+		j.w = WriteShim(path, f)
+	}
+	j.enc = json.NewEncoder(j.w)
+}
+
 // Meta returns the journal's campaign identity.
 func (j *Journal) Meta() JournalMeta { return j.meta }
+
+// SetFsync makes every checkpoint record durable before the campaign
+// moves on: each journaled line is followed by an fsync, so even a
+// power loss (not just a process kill) keeps every completed batch.
+// Off by default — the OS page cache already survives a SIGKILL, which
+// is the common wound; fsync buys the rarer machine-crash case at a
+// per-checkpoint I/O cost. Not part of JournalMeta: durability policy
+// does not change the campaign's results, so resuming with a different
+// setting is legal.
+func (j *Journal) SetFsync(on bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.fsync = on
+}
+
+// Degraded returns the first journal write/sync failure, or nil while
+// the journal is healthy. A degraded journal has stopped recording —
+// the campaign's remaining batches exist only in memory and a crash
+// after degradation re-probes them on resume — but its on-disk prefix
+// stays valid for resume.
+func (j *Journal) Degraded() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
+}
 
 // Quantum returns the phase quantum.
 func (j *Journal) Quantum() time.Duration { return j.meta.Quantum }
@@ -259,11 +311,7 @@ func (j *Journal) beginPhase(kind string) int {
 		}
 	} else {
 		j.phaseKinds[p] = kind
-		if j.enc != nil {
-			if err := j.enc.Encode(journalLine{T: "phase", Phase: p, Kind: kind}); err != nil {
-				panic(fmt.Sprintf("measure: journal write: %v", err))
-			}
-		}
+		j.encode(journalLine{T: "phase", Phase: p, Kind: kind})
 	}
 	return p
 }
@@ -326,13 +374,26 @@ func (j *Journal) recordGroups(phase int, kind, vp string, gs [][]probe.Result) 
 	}
 }
 
-// encode writes one record; journal I/O failures abort the campaign
-// loudly rather than silently dropping checkpoint data.
+// encode writes one record (caller holds j.mu). A write or sync
+// failure must not panic — it would kill a worker goroutine over a
+// full disk — so the journal degrades instead: the error is retained,
+// further writes are disabled, and the campaign continues with its
+// streaming sink intact but no checkpoint coverage from here on. The
+// file is left with its valid prefix plus at most one torn line, which
+// ResumeJournal discards.
 func (j *Journal) encode(line journalLine) {
-	if j.enc == nil {
+	if j.enc == nil || j.degraded != nil {
 		return
 	}
 	if err := j.enc.Encode(line); err != nil {
-		panic(fmt.Sprintf("measure: journal write: %v", err))
+		j.degraded = fmt.Errorf("measure: journal write: %w", err)
+		j.enc = nil
+		return
+	}
+	if j.fsync && j.f != nil {
+		if err := j.f.Sync(); err != nil {
+			j.degraded = fmt.Errorf("measure: journal fsync: %w", err)
+			j.enc = nil
+		}
 	}
 }

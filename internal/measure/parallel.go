@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"runtime"
@@ -54,8 +55,9 @@ type ParallelCampaign struct {
 	vpShard   map[string]int // VP name → replica index
 	vpNames   []string       // campaign order, as the sequential path sees it
 
-	observer *obs.Observer // applied to each replica at init; nil observes nothing
-	journal  *Journal      // nil unless the campaign is journaled
+	observer *obs.Observer   // applied to each replica at init; nil observes nothing
+	journal  *Journal        // nil unless the campaign is journaled
+	ctx      context.Context // nil unless cancellation is armed (SetContext)
 }
 
 // Both executors satisfy the Fleet surface.
@@ -85,11 +87,17 @@ type replica struct {
 // run executes fn against the replica with panic containment: a panic
 // kills only this shard — it is recovered, the replica is marked dead,
 // and later primitives and clock syncs skip it, so the surviving shards
-// keep producing results (the Fleet partial-results contract).
+// keep producing results (the Fleet partial-results contract). A
+// cooperative cancellation abort (Canceled) is an expected shutdown,
+// not a crash, so it is recorded without the stack-trace noise.
 func (rep *replica) run(fn func(*replica)) {
 	defer func() {
 		if r := recover(); r != nil {
 			rep.dead = true
+			if err, ok := CanceledFrom(r); ok {
+				rep.err = fmt.Errorf("shard %d canceled at t=%v: %w", rep.idx, rep.eng.Now(), err)
+				return
+			}
 			rep.err = fmt.Errorf("shard %d panicked at t=%v: %v\n%s",
 				rep.idx, rep.eng.Now(), r, debug.Stack())
 		}
@@ -196,6 +204,19 @@ func (pc *ParallelCampaign) AttachJournal(j *Journal) { pc.journal = j }
 
 // Journal returns the attached journal, or nil.
 func (pc *ParallelCampaign) Journal() *Journal { return pc.journal }
+
+// SetContext arms cooperative cancellation: once ctx is done, the
+// campaign aborts — with a Canceled panic the caller recovers and
+// classifies via CanceledFrom — at its next deterministic boundary.
+// Boundaries are the start of every primitive (a journal phase
+// boundary, caught on the caller's goroutine) and each per-VP batch
+// checkpoint inside a journaled primitive (caught per shard: the batch
+// that just completed is recorded first, then the shard dies as a
+// canceled ShardError, so every journaled batch stays complete and
+// resume-safe). Mid-drain engine work between checkpoints is never
+// interrupted — that is what keeps cancellation deterministic
+// (DESIGN.md §13).
+func (pc *ParallelCampaign) SetContext(ctx context.Context) { pc.ctx = ctx }
 
 // NumShards returns the shard count the campaign will use (clamped to
 // the VP count once built).
@@ -377,12 +398,26 @@ func (pc *ParallelCampaign) syncClocks() {
 }
 
 // beginPhase opens a journal phase for one primitive; journaled
-// reports whether the campaign is journaled at all.
+// reports whether the campaign is journaled at all. Every primitive
+// passes through here, so it doubles as the phase-boundary
+// cancellation check: an armed, expired context aborts before the
+// phase record is written or any probe is started.
 func (pc *ParallelCampaign) beginPhase(kind string) (phase int, journaled bool) {
+	checkCanceled(pc.ctx)
 	if pc.journal == nil {
 		return 0, false
 	}
 	return pc.journal.beginPhase(kind), true
+}
+
+// checkpoint records one freshly completed batch (flat or grouped) and
+// then honors cancellation: the completed batch is journaled first, so
+// aborting here loses nothing that was measured — the shard dies as a
+// canceled ShardError at a per-VP checkpoint boundary, and a resumed
+// run re-probes exactly the batches that never completed.
+func (pc *ParallelCampaign) checkpoint(record func()) {
+	record()
+	checkCanceled(pc.ctx)
 }
 
 // endPhase quantizes a journaled phase's end: every live shard clock is
@@ -499,9 +534,11 @@ func (pc *ParallelCampaign) PingRRAll(dests []netip.Addr, opts probe.Options, or
 				mu.Lock()
 				out[vp.Name] = rs
 				mu.Unlock()
-				if journaled {
-					pc.journal.recordResults(phase, "ping-rr-all", vp.Name, rs)
-				}
+				pc.checkpoint(func() {
+					if journaled {
+						pc.journal.recordResults(phase, "ping-rr-all", vp.Name, rs)
+					}
+				})
 			})
 		}
 		rep.eng.Run()
@@ -542,9 +579,11 @@ func (pc *ParallelCampaign) PingAll(dests []netip.Addr, count int, opts probe.Op
 				mu.Lock()
 				out[vp.Name] = rs
 				mu.Unlock()
-				if journaled {
-					pc.journal.recordGroups(phase, "ping-all", vp.Name, rs)
-				}
+				pc.checkpoint(func() {
+					if journaled {
+						pc.journal.recordGroups(phase, "ping-all", vp.Name, rs)
+					}
+				})
 			})
 		}
 		rep.eng.Run()
@@ -575,9 +614,11 @@ func (pc *ParallelCampaign) PingRRUDPAll(perVP map[string][]netip.Addr, opts pro
 				mu.Lock()
 				out[vp.Name] = rs
 				mu.Unlock()
-				if journaled {
-					pc.journal.recordResults(phase, "ping-rr-udp-all", vp.Name, rs)
-				}
+				pc.checkpoint(func() {
+					if journaled {
+						pc.journal.recordResults(phase, "ping-rr-udp-all", vp.Name, rs)
+					}
+				})
 			})
 		}
 		rep.eng.Run()

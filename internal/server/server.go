@@ -2,13 +2,18 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"recordroute/internal/measure"
 	"recordroute/internal/obs"
 	"recordroute/internal/probe"
 	"recordroute/internal/results"
@@ -31,12 +36,81 @@ type Config struct {
 	// DataDir is where per-job journals live. Default: a "rrstudyd"
 	// directory under the OS temp dir.
 	DataDir string
-	// RetainJobs bounds how many finished (done/failed) jobs stay
-	// queryable; beyond it the oldest are evicted along with their
+	// RetainJobs bounds how many finished (done/failed/canceled) jobs
+	// stay queryable; beyond it the oldest are evicted along with their
 	// stream and render buffers, so a long-lived daemon's memory stays
 	// bounded per job, not per lifetime. Journals survive eviction.
 	// Default 64.
 	RetainJobs int
+	// JobDeadline bounds one execution attempt's wall-clock time; 0
+	// means no deadline. Expiry is observed at the campaign's
+	// deterministic checkpoint boundaries (DESIGN.md §13), classified
+	// as the retryable "deadline" failure class, and — because every
+	// attempt journals its completed batches — the next attempt resumes
+	// from where the expired one stopped, so a deadline acts as a
+	// progress lease, not a hard kill.
+	JobDeadline time.Duration
+	// MaxRetries is the per-job retry budget for retryable failure
+	// classes (see classRetryable). 0 means the default (2); negative
+	// disables retries entirely.
+	MaxRetries int
+	// RetryBackoff is the delay before a failed job's first retry; each
+	// further retry doubles it, capped at 30s. 0 means 500ms.
+	RetryBackoff time.Duration
+	// JournalFsync syncs the journal file after every checkpoint
+	// record, extending crash-safety from process kills to machine
+	// crashes at a per-checkpoint I/O cost.
+	JournalFsync bool
+	// StreamWriteTimeout bounds each write to a /stream client; a
+	// reader stalled longer than this is disconnected instead of
+	// pinning the handler (and the job buffers it retains) forever.
+	// 0 means 30s; negative disables.
+	StreamWriteTimeout time.Duration
+}
+
+func (c Config) maxRetries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return 2
+	default:
+		return c.MaxRetries
+	}
+}
+
+func (c Config) retryBackoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return 500 * time.Millisecond
+	}
+	return c.RetryBackoff
+}
+
+func (c Config) streamWriteTimeout() time.Duration {
+	switch {
+	case c.StreamWriteTimeout < 0:
+		return 0
+	case c.StreamWriteTimeout == 0:
+		return 30 * time.Second
+	default:
+		return c.StreamWriteTimeout
+	}
+}
+
+// maxRetryBackoff caps the exponential retry backoff.
+const maxRetryBackoff = 30 * time.Second
+
+// backoffFor returns the capped exponential delay before retry n
+// (1-based) of a job.
+func (c Config) backoffFor(retry int) time.Duration {
+	d := c.retryBackoff()
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= maxRetryBackoff {
+			return maxRetryBackoff
+		}
+	}
+	return min(d, maxRetryBackoff)
 }
 
 // JobSpec is the submit body: which experiment against which world,
@@ -90,11 +164,39 @@ func (sp JobSpec) config() (topology.Config, error) {
 
 // Job states.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateRetrying = "retrying" // failed retryably; waiting out the backoff before re-queueing
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
 )
+
+// Failure classes. Every failed attempt is classified so the retry
+// policy is a property of the failure, not of the error text: classes
+// caused by the environment (a crashed worker, a full disk, an expired
+// deadline) are retried with the journal carrying the finished batches
+// forward, classes caused by the job itself (a bad spec, a topology
+// that cannot build) fail immediately — retrying a deterministic error
+// only burns the budget.
+const (
+	ClassSpec      = "spec"        // invalid job spec resolved after submit — deterministic, terminal
+	ClassTopology  = "topology"    // topology build error — deterministic, terminal
+	ClassJournalIO = "journal-io"  // journal attach/resume I/O failure — environmental, retryable
+	ClassPanic     = "panic"       // worker goroutine panic — retryable
+	ClassShard     = "shard-panic" // shard replica died mid-campaign — retryable
+	ClassDeadline  = "deadline"    // attempt exceeded JobDeadline — retryable (resume makes progress)
+	ClassCanceled  = "canceled"    // DELETE /jobs/{id} — terminal by request
+)
+
+// classRetryable reports whether a failure class earns another attempt.
+func classRetryable(class string) bool {
+	switch class {
+	case ClassJournalIO, ClassPanic, ClassShard, ClassDeadline:
+		return true
+	}
+	return false
+}
 
 // Job is one submitted campaign. Result lines accumulate in stream as
 // the campaign's VP batches complete; render holds the finished table.
@@ -102,18 +204,27 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 	// journal is the resolved journal path, fixed at submit time so the
-	// server can refuse a second job writing the same file.
+	// server can refuse a second job writing the same file. It stays
+	// reserved across retries and is released when the job finalizes.
 	journal string
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	state    string
-	err      string
-	cacheHit bool
-	done     int // completed VP batches (archived + freshly probed)
-	total    int // VP batches the campaign will complete, once known
-	stream   []byte
-	render   []byte
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     string
+	err       string
+	class     string // failure class of the most recent failed attempt
+	attempts  int    // execution attempts started
+	degraded  bool   // the journal degraded during some attempt
+	cacheHit  bool
+	done      int // completed VP batches (archived + freshly probed)
+	total     int // VP batches the campaign will complete, once known
+	stream    []byte
+	render    []byte
+	finalized bool // terminal bookkeeping (journal release, eviction) ran
+
+	cancelRequested bool               // DELETE arrived; honored at the next checkpoint
+	cancelRun       context.CancelFunc // cancels the in-flight attempt; nil between attempts
+	retryTimer      *time.Timer        // pending backoff re-queue; nil otherwise
 }
 
 // Status is the job-status JSON.
@@ -121,6 +232,9 @@ type Status struct {
 	ID       string  `json:"id"`
 	State    string  `json:"state"`
 	Error    string  `json:"error,omitempty"`
+	Class    string  `json:"class,omitempty"`
+	Attempts int     `json:"attempts,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
 	CacheHit bool    `json:"cache_hit"`
 	Done     int     `json:"done"`
 	Total    int     `json:"total"`
@@ -130,7 +244,8 @@ type Status struct {
 func (j *Job) status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	s := Status{ID: j.ID, State: j.state, Error: j.err,
+	s := Status{ID: j.ID, State: j.state, Error: j.err, Class: j.class,
+		Attempts: j.attempts, Degraded: j.degraded,
 		CacheHit: j.cacheHit, Done: j.done, Total: j.total}
 	if j.total > 0 {
 		s.Progress = float64(j.done) / float64(j.total)
@@ -139,8 +254,8 @@ func (j *Job) status() Status {
 }
 
 // Server is the campaign service: submit jobs, poll status, stream
-// results, scrape metrics. Create with New, serve via Handler, stop
-// with Drain.
+// results, cancel, scrape metrics. Create with New, serve via Handler,
+// stop with Drain.
 type Server struct {
 	cfg   Config
 	cache *planeCache
@@ -148,16 +263,27 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string          // submission order, for /metrics
-	journals map[string]string // active journal path -> job ID
+	journals map[string]string // reserved journal path -> job ID
 	nextID   int
 	draining bool
 
 	queue chan *Job
 	wg    sync.WaitGroup
 
+	retriedTotal  atomic.Int64 // attempts re-queued after a retryable failure
+	canceledTotal atomic.Int64 // jobs finalized by DELETE /jobs/{id}
+	degradedTotal atomic.Int64 // jobs whose journal degraded (write errors swallowed)
+	streamDropped atomic.Int64 // /stream clients disconnected by the write deadline
+
 	// startHook, when set (tests), runs at the top of each job
-	// execution — a seam for making workers dwell deterministically.
+	// execution — a seam for making workers dwell deterministically, or
+	// crash (a panic here is a worker death the lifecycle must absorb).
 	startHook func(*Job)
+	// batchHook, when set (tests), runs inside the journal sink on the
+	// shard goroutine that completed the batch — the chaos harness's
+	// seam for killing a worker mid-phase (a panic here dies exactly
+	// where a real mid-campaign fault would).
+	batchHook func(job *Job, vp string, attempt int)
 }
 
 // New starts a campaign service with cfg's pool sizes; workers run
@@ -194,8 +320,11 @@ func New(cfg Config) (*Server, error) {
 
 // Drain stops accepting jobs, lets queued and running campaigns finish,
 // and returns when the pool is idle — the graceful-shutdown half of the
-// daemon's SIGTERM handling. Journals make even an ungraceful kill
-// recoverable; drain just finishes the cheap way.
+// daemon's SIGTERM handling. Jobs waiting out a retry backoff are not
+// granted their next attempt: they finalize as failed with the original
+// failure preserved, and their journals keep the completed batches for
+// a manual resume. Journals make even an ungraceful kill recoverable;
+// drain just finishes the cheap way.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	if s.draining {
@@ -204,10 +333,36 @@ func (s *Server) Drain() {
 		return
 	}
 	s.draining = true
+	var waiting []*Job
+	for _, id := range s.order {
+		job := s.jobs[id]
+		job.mu.Lock()
+		if job.retryTimer != nil {
+			waiting = append(waiting, job)
+		}
+		job.mu.Unlock()
+	}
 	s.mu.Unlock()
+	// Any retry scheduled after draining flipped fails at scheduling
+	// time; any timer that fires from here on sees draining and
+	// finalizes instead of enqueueing. Stopping a timer first wins the
+	// race to finalize; losing it (Stop returns false) means the timer
+	// callback is already running and will finalize itself.
+	for _, job := range waiting {
+		job.mu.Lock()
+		timer := job.retryTimer
+		job.retryTimer = nil
+		job.mu.Unlock()
+		if timer != nil && timer.Stop() {
+			s.finalize(job, StateFailed, jobClass(job), jobErr(job)+" (retry abandoned: service draining; journal keeps completed batches)")
+		}
+	}
 	close(s.queue)
 	s.wg.Wait()
 }
+
+func jobClass(j *Job) string { j.mu.Lock(); defer j.mu.Unlock(); return j.class }
+func jobErr(j *Job) string   { j.mu.Lock(); defer j.mu.Unlock(); return j.err }
 
 // Submit enqueues a job, refusing with an error when the service is
 // draining, the queue is full, or the job's journal is already in use
@@ -269,40 +424,229 @@ func (s *Server) Job(id string) *Job {
 // QueueDepth returns the number of jobs accepted but not yet running.
 func (s *Server) QueueDepth() int { return len(s.queue) }
 
+// Cancel requests cancellation of a job. A queued or backoff-waiting
+// job finalizes as canceled without (further) execution; a running job
+// has its attempt's context canceled and finalizes at the campaign's
+// next deterministic checkpoint. Terminal jobs are left as they are
+// (reported via the returned already-terminal flag). Canceled jobs are
+// never retried.
+func (s *Server) Cancel(id string) (job *Job, terminal bool) {
+	job = s.Job(id)
+	if job == nil {
+		return nil, false
+	}
+	job.mu.Lock()
+	if terminalState(job.state) {
+		job.mu.Unlock()
+		return job, true
+	}
+	job.cancelRequested = true
+	cancel := job.cancelRun
+	timer := job.retryTimer
+	job.retryTimer = nil
+	job.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	// A backoff-waiting job has no attempt to cancel and is not in the
+	// queue; whoever stops the timer finalizes it. Losing the Stop race
+	// means the timer callback is re-queueing — the worker that dequeues
+	// it will observe cancelRequested and finalize.
+	if timer != nil && timer.Stop() {
+		s.finalizeCanceled(job, "canceled while waiting for retry")
+	}
+	return job, false
+}
+
+func terminalState(st string) bool {
+	return st == StateDone || st == StateFailed || st == StateCanceled
+}
+
+// terminal reports whether the job reached done/failed/canceled.
+func (j *Job) terminal() bool {
+	return terminalState(j.state)
+}
+
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for job := range s.queue {
-		s.run(job)
+		s.execute(job)
 	}
 }
 
-// run executes one campaign: resolve the world through the frozen-plane
-// cache, attach the job's journal, stream batches as they complete,
-// render when done.
-func (s *Server) run(job *Job) {
+// execute runs one attempt of a dequeued job and settles its fate:
+// done, canceled, failed, or re-queued after a class-aware backoff.
+func (s *Server) execute(job *Job) {
+	job.mu.Lock()
+	preCanceled := job.cancelRequested
+	attempts := job.attempts
+	job.mu.Unlock()
+	if preCanceled {
+		s.finalizeCanceled(job, "canceled while queued")
+		return
+	}
+
+	out := s.runOnce(job)
+	switch {
+	case out.ok:
+		s.finalize(job, StateDone, "", "")
+	case out.class == ClassCanceled:
+		s.finalizeCanceled(job, out.msg)
+	case classRetryable(out.class) && attempts < s.cfg.maxRetries():
+		s.scheduleRetry(job, out.class, out.msg)
+	default:
+		s.finalize(job, StateFailed, out.class, out.msg)
+	}
+}
+
+// finalize settles a job's terminal state exactly once: state/class/
+// error recorded, waiters woken, the journal path released for new
+// submissions, and old terminal jobs evicted.
+func (s *Server) finalize(job *Job, state, class, msg string) {
+	job.mu.Lock()
+	if job.finalized {
+		job.mu.Unlock()
+		return
+	}
+	job.finalized = true
+	job.state = state
+	job.class = class
+	job.err = msg
+	job.mu.Unlock()
+	job.cond.Broadcast()
+	s.mu.Lock()
+	delete(s.journals, job.journal)
+	s.mu.Unlock()
+	s.evictTerminal()
+}
+
+func (s *Server) finalizeCanceled(job *Job, msg string) {
+	s.canceledTotal.Add(1)
+	s.finalize(job, StateCanceled, ClassCanceled, msg)
+}
+
+// scheduleRetry parks a retryably failed job in StateRetrying and arms
+// the backoff timer that re-queues it. Under drain there is no next
+// attempt: the job fails now, keeping the failure it would have
+// retried.
+func (s *Server) scheduleRetry(job *Job, class, msg string) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.finalize(job, StateFailed, class, msg+" (retry abandoned: service draining; journal keeps completed batches)")
+		return
+	}
+	job.mu.Lock()
+	retry := job.attempts // retry N follows attempt N
+	delay := s.cfg.backoffFor(retry)
+	job.state = StateRetrying
+	job.class = class
+	job.err = fmt.Sprintf("%s (attempt %d/%d; retrying in %v)", msg, retry, s.cfg.maxRetries()+1, delay)
+	job.retryTimer = time.AfterFunc(delay, func() { s.requeue(job) })
+	job.mu.Unlock()
+	s.mu.Unlock()
+	s.retriedTotal.Add(1)
+	job.cond.Broadcast()
+}
+
+// requeue moves a backoff-expired job back into the worker queue. The
+// journal stayed reserved the whole time, so nothing can have claimed
+// the path in between; the next attempt resumes from it.
+func (s *Server) requeue(job *Job) {
+	job.mu.Lock()
+	job.retryTimer = nil
+	canceled := job.cancelRequested
+	job.mu.Unlock()
+	if canceled {
+		s.finalizeCanceled(job, "canceled while waiting for retry")
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.finalize(job, StateFailed, jobClass(job), jobErr(job)+" (retry abandoned: service draining; journal keeps completed batches)")
+		return
+	}
+	select {
+	case s.queue <- job:
+		s.mu.Unlock()
+		job.setState(StateQueued)
+	default:
+		// Queue full: wait out another backoff round rather than block
+		// a goroutine on the channel.
+		job.mu.Lock()
+		job.retryTimer = time.AfterFunc(s.cfg.retryBackoff(), func() { s.requeue(job) })
+		job.mu.Unlock()
+		s.mu.Unlock()
+	}
+}
+
+// attemptOutcome is runOnce's verdict on one execution attempt.
+type attemptOutcome struct {
+	ok    bool
+	class string
+	msg   string
+}
+
+func failure(class, format string, args ...any) attemptOutcome {
+	return attemptOutcome{class: class, msg: fmt.Sprintf(format, args...)}
+}
+
+// runOnce executes one campaign attempt: resolve the world through the
+// frozen-plane cache, attach the job's journal (resuming it on every
+// attempt after the first, so retries continue instead of restarting),
+// stream batches as they complete, render when done. Panics — the
+// worker's own and cooperative cancellation aborts — are absorbed here
+// and classified; the worker goroutine survives every failure mode.
+func (s *Server) runOnce(job *Job) (out attemptOutcome) {
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if s.cfg.JobDeadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobDeadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	var jn *measure.Journal
 	defer func() {
 		if r := recover(); r != nil {
-			job.fail(fmt.Sprintf("panic: %v", r))
+			if err, ok := measure.CanceledFrom(r); ok {
+				out = s.classifyCancel(err, r)
+			} else {
+				out = failure(ClassPanic, "panic: %v", r)
+			}
 		}
-		s.mu.Lock()
-		delete(s.journals, job.journal)
-		s.mu.Unlock()
-		s.evictTerminal()
+		if jn != nil && jn.Degraded() != nil {
+			s.markDegraded(job, jn.Degraded())
+		}
+		job.mu.Lock()
+		job.cancelRun = nil
+		job.mu.Unlock()
+		cancel()
 	}()
+
+	job.mu.Lock()
+	job.attempts++
+	attempt := job.attempts
+	job.state = StateRunning
+	job.cancelRun = cancel
+	preCanceled := job.cancelRequested
+	job.mu.Unlock()
+	job.cond.Broadcast()
+	if preCanceled {
+		// The DELETE raced the dequeue; don't start probing.
+		cancel()
+	}
 	if s.startHook != nil {
 		s.startHook(job)
 	}
-	job.setState(StateRunning)
 
 	cfg, err := job.Spec.config()
 	if err != nil {
-		job.fail(err.Error())
-		return
+		return failure(ClassSpec, "%v", err)
 	}
 	topo, hit, err := s.cache.Get(cfg)
 	if err != nil {
-		job.fail(fmt.Sprintf("topology build: %v", err))
-		return
+		return failure(ClassTopology, "topology build: %v", err)
 	}
 	job.mu.Lock()
 	job.cacheHit = hit
@@ -314,15 +658,15 @@ func (s *Server) run(job *Job) {
 		Shards:      job.Spec.Shards,
 	})
 	if err != nil {
-		job.fail(err.Error())
-		return
+		return failure(ClassSpec, "%v", err)
 	}
-	path := job.journal
-	jn, err := st.AttachJournal(path, job.Spec.Resume)
+	st.SetContext(ctx)
+	resume := job.Spec.Resume || attempt > 1
+	jn, err = st.AttachJournal(job.journal, resume)
 	if err != nil {
-		job.fail(fmt.Sprintf("journal: %v", err))
-		return
+		return failure(ClassJournalIO, "journal: %v", err)
 	}
+	jn.SetFsync(s.cfg.JournalFsync)
 	defer st.CloseJournal()
 
 	job.mu.Lock()
@@ -330,6 +674,9 @@ func (s *Server) run(job *Job) {
 	job.done = jn.Archived()
 	job.mu.Unlock()
 	jn.SetSink(func(vp string, rs []probe.Result) {
+		if s.batchHook != nil {
+			s.batchHook(job, vp, attempt)
+		}
 		var line bytes.Buffer
 		if err := results.WriteJSONL(&line, vp, rs); err != nil {
 			return
@@ -343,17 +690,50 @@ func (s *Server) run(job *Job) {
 
 	resp := st.RunResponsiveness()
 	if errs := st.Fleet().ShardErrors(); len(errs) > 0 {
-		job.fail(fmt.Sprintf("%d shard(s) failed: %v (journal %s keeps completed batches; resubmit with resume)", len(errs), errs[0], path))
-		return
+		// Cancellation/deadline aborts surface as canceled shards when
+		// they land at a per-VP checkpoint rather than a phase boundary;
+		// the job's own context says which fate this was.
+		if err := ctx.Err(); err != nil {
+			return s.classifyCancel(err, errs[0])
+		}
+		return failure(ClassShard, "%d shard(s) failed: %v (journal %s keeps completed batches)", len(errs), errs[0], job.journal)
+	}
+	if err := ctx.Err(); err != nil {
+		// The abort landed after the campaign's last checkpoint; honor
+		// it anyway so a canceled job never reports success.
+		return s.classifyCancel(err, err)
 	}
 
 	var render bytes.Buffer
 	resp.Render(&render)
 	job.mu.Lock()
 	job.render = render.Bytes()
-	job.state = StateDone
 	job.mu.Unlock()
-	job.cond.Broadcast()
+	return attemptOutcome{ok: true}
+}
+
+// classifyCancel splits a context-driven abort into its two classes: a
+// deadline expiry (retryable — the next attempt resumes from the
+// journal and makes fresh progress inside a fresh deadline) versus an
+// explicit cancel (terminal).
+func (s *Server) classifyCancel(ctxErr error, detail any) attemptOutcome {
+	if errors.Is(ctxErr, context.DeadlineExceeded) {
+		return failure(ClassDeadline, "attempt exceeded job deadline %v: %v", s.cfg.JobDeadline, detail)
+	}
+	return failure(ClassCanceled, "canceled: %v", detail)
+}
+
+// markDegraded records that the job's journal stopped recording
+// checkpoints (a write/sync failure was swallowed so the campaign
+// could keep running). Counted once per job.
+func (s *Server) markDegraded(job *Job, err error) {
+	job.mu.Lock()
+	first := !job.degraded
+	job.degraded = true
+	job.mu.Unlock()
+	if first {
+		s.degradedTotal.Add(1)
+	}
 }
 
 func (j *Job) setState(st string) {
@@ -363,23 +743,10 @@ func (j *Job) setState(st string) {
 	j.cond.Broadcast()
 }
 
-func (j *Job) fail(msg string) {
-	j.mu.Lock()
-	j.state = StateFailed
-	j.err = msg
-	j.mu.Unlock()
-	j.cond.Broadcast()
-}
-
-// terminal reports whether the job reached done/failed.
-func (j *Job) terminal() bool {
-	return j.state == StateDone || j.state == StateFailed
-}
-
 // evictTerminal drops the oldest finished jobs beyond RetainJobs,
-// freeing their stream and render buffers. Queued and running jobs are
-// never evicted; clients still holding a *Job keep a valid pointer,
-// the job is just no longer addressable over HTTP.
+// freeing their stream and render buffers. Queued, running, and
+// retrying jobs are never evicted; clients still holding a *Job keep a
+// valid pointer, the job is just no longer addressable over HTTP.
 func (s *Server) evictTerminal() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -406,23 +773,38 @@ func (s *Server) evictTerminal() {
 
 // Handler returns the service's HTTP surface:
 //
-//	POST /jobs                submit a JobSpec, 202 {"id": ...} or 503
-//	GET  /jobs/{id}           status JSON
-//	GET  /jobs/{id}/stream    live JSONL result stream (follows until done)
-//	GET  /jobs/{id}/render    the finished table (404 until done)
-//	GET  /metrics             Prometheus text exposition
-//	GET  /healthz             liveness
+//	POST   /jobs                submit a JobSpec, 202 {"id": ...} or 503
+//	GET    /jobs/{id}           status JSON
+//	DELETE /jobs/{id}           cancel (202; 409 if already terminal)
+//	GET    /jobs/{id}/stream    live JSONL result stream (follows until done)
+//	GET    /jobs/{id}/render    the finished table (404 until done)
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness (process is up)
+//	GET    /readyz              readiness (accepting jobs; 503 while draining)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /jobs/{id}/render", s.handleRender)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -455,9 +837,27 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(job.status())
 }
 
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, terminal := s.Cancel(r.PathValue("id"))
+	if job == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if terminal {
+		w.WriteHeader(http.StatusConflict)
+	} else {
+		w.WriteHeader(http.StatusAccepted)
+	}
+	json.NewEncoder(w).Encode(job.status())
+}
+
 // handleStream replays the job's JSONL results from the beginning and
 // then follows live completions until the job reaches a terminal state
-// (or the client goes away), flushing after every batch.
+// (or the client goes away), flushing after every batch. Each write
+// carries a deadline: a reader that stops draining is disconnected
+// after StreamWriteTimeout instead of holding the handler — and the
+// job buffers it pins — for the life of the daemon.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	job := s.Job(r.PathValue("id"))
 	if job == nil {
@@ -466,6 +866,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	writeTimeout := s.cfg.streamWriteTimeout()
 
 	// Wake the cond loop when the client disconnects.
 	ctx := r.Context()
@@ -491,7 +893,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		job.mu.Unlock()
 
 		if len(chunk) > 0 {
+			if writeTimeout > 0 {
+				rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+			}
 			if _, err := w.Write(chunk); err != nil {
+				s.streamDropped.Add(1)
 				return
 			}
 			if flusher != nil {
@@ -517,7 +923,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	case StateDone:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(render)
-	case StateFailed:
+	case StateFailed, StateCanceled:
 		http.Error(w, errMsg, http.StatusInternalServerError)
 	default:
 		http.Error(w, fmt.Sprintf("job %s is %s", job.ID, state), http.StatusConflict)
@@ -525,8 +931,9 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics exposes the service gauges the acceptance criteria
-// name — queue depth, cache hits, per-job progress — plus worker-pool
-// and build counters, in the Prometheus text format.
+// name — queue depth, cache hits, per-job progress — plus worker-pool,
+// build, and failure-handling counters (retries, cancellations,
+// journal degradations), in the Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	hits, misses, size := s.cache.Stats()
 
@@ -545,7 +952,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 
 	var stateSamples []obs.PromSample
-	for _, st := range []string{StateQueued, StateRunning, StateDone, StateFailed} {
+	for _, st := range []string{StateQueued, StateRunning, StateRetrying, StateDone, StateFailed, StateCanceled} {
 		stateSamples = append(stateSamples, obs.PromSample{
 			Labels: map[string]string{"state": st}, Value: states[st]})
 	}
@@ -556,6 +963,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{Name: "rrstudyd_workers", Help: "worker pool width", Type: "gauge",
 			Samples: []obs.PromSample{{Value: float64(s.cfg.Workers)}}},
 		{Name: "rrstudyd_jobs", Help: "jobs by state", Type: "gauge", Samples: stateSamples},
+		{Name: "rrstudyd_jobs_retried_total", Help: "job attempts re-queued after a retryable failure", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(s.retriedTotal.Load())}}},
+		{Name: "rrstudyd_jobs_canceled_total", Help: "jobs finalized by DELETE /jobs/{id}", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(s.canceledTotal.Load())}}},
+		{Name: "rrstudyd_journal_degraded_total", Help: "jobs whose journal degraded (checkpoint writes failing, job continued)", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(s.degradedTotal.Load())}}},
+		{Name: "rrstudyd_stream_clients_dropped_total", Help: "/stream clients disconnected by the write deadline", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(s.streamDropped.Load())}}},
 		{Name: "rrstudyd_cache_hits_total", Help: "frozen-plane cache hits", Type: "counter",
 			Samples: []obs.PromSample{{Value: float64(hits)}}},
 		{Name: "rrstudyd_cache_misses_total", Help: "frozen-plane cache misses", Type: "counter",

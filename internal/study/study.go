@@ -17,6 +17,7 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"net/netip"
@@ -104,6 +105,7 @@ type Study struct {
 
 	fleet   measure.Fleet
 	journal *measure.Journal
+	ctx     context.Context
 }
 
 // New builds the simulated Internet for cfg and wires up the campaign.
@@ -173,10 +175,27 @@ func (s *Study) Fleet() measure.Fleet {
 			if s.journal != nil {
 				pc.AttachJournal(s.journal)
 			}
+			pc.SetContext(s.ctx)
 			s.fleet = pc
 		}
 	}
 	return s.fleet
+}
+
+// SetContext arms cooperative cancellation on every campaign executor
+// the study probes through: once ctx is done, the next deterministic
+// boundary — a primitive start, or a per-VP checkpoint on a journaled
+// fleet — aborts the campaign with a measure.Canceled panic the caller
+// classifies via measure.CanceledFrom. The campaign-service daemon uses
+// this for job deadlines and DELETE /jobs/{id}; aborting only at those
+// boundaries keeps every journaled batch resume-safe (DESIGN.md §13).
+func (s *Study) SetContext(ctx context.Context) {
+	s.ctx = ctx
+	s.Camp.SetContext(ctx)
+	s.CloudCamp.SetContext(ctx)
+	if pc, ok := s.fleet.(*measure.ParallelCampaign); ok {
+		pc.SetContext(ctx)
+	}
 }
 
 // AttachJournal makes the study's fleet journaled: completed per-VP
