@@ -95,17 +95,19 @@ study:
 serve:
 	$(GO) run ./cmd/rrstudyd
 
-# Short fuzzing passes over the packet decoders and the FIB.
+# Short fuzzing passes over the packet decoders, the FIB, and the
+# stop-set codec.
 fuzz:
 	$(GO) test ./internal/packet -fuzz FuzzParsedDecode -fuzztime 30s
 	$(GO) test ./internal/packet -fuzz FuzzRecordRouteDecode -fuzztime 15s
 	$(GO) test ./internal/packet -fuzz FuzzTimestampDecode -fuzztime 15s
 	$(GO) test ./internal/packet -fuzz FuzzDecodeICMPQuoted -fuzztime 30s
 	$(GO) test ./internal/netsim -fuzz FuzzFIBLookup -fuzztime 30s
+	$(GO) test ./internal/trace -fuzz FuzzStopSetCodec -fuzztime 30s
 
 # Coverage with per-package floors for the simulator core (matches CI).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/netsim ./internal/probe ./internal/measure
+	$(GO) test -coverprofile=cover.out ./internal/netsim ./internal/probe ./internal/measure ./internal/trace
 	$(GO) tool cover -func=cover.out | tail -1
 
 examples:

@@ -8,7 +8,14 @@
 //	        [-trace dst=IP] [-progress]
 //
 // Experiments: all, table1, fig1, fig2, audit, fig3, fig4, fig5, vpdist,
-// atlas, lsrr, chaos.
+// atlas, lsrr, traceroute, rr-vs-tr, chaos.
+//
+// -experiment traceroute runs the Doubletree engine (per-VP local stop
+// sets plus a shared global (iface, dst-prefix) stop set, merged
+// deterministically between rounds) against a naive exhaustive
+// traceroute arm over the same pairs and reports the probe-budget
+// saving; -experiment rr-vs-tr scores router- and AS-level agreement
+// between ping-RR stamps and traceroute paths.
 // At -scale 1.0 (the default, ≈1/100 of the paper's probing volume) the
 // full run takes on the order of a minute. -scale also accepts a profile
 // name: small (quick iteration), medium (= 1.0), or large (10⁵+
@@ -78,7 +85,7 @@ func main() {
 		scale      = flag.String("scale", "1.0", "topology size: a numeric factor (1.0 ≈ 1/100 of the paper) or a profile name small|medium|large (large ≈ the paper's 10⁵-prefix hitlist)")
 		seed       = flag.Uint64("seed", 0, "random seed (0 = built-in default)")
 		rate       = flag.Float64("rate", 20, "per-VP probing rate in packets per second")
-		experiment = flag.String("experiment", "all", "experiment to run: all|table1|fig1|fig2|audit|fig3|fig4|fig5|vpdist|atlas|lsrr|chaos")
+		experiment = flag.String("experiment", "all", "experiment to run: all|table1|fig1|fig2|audit|fig3|fig4|fig5|vpdist|atlas|lsrr|traceroute|rr-vs-tr|chaos")
 		jsonOut    = flag.String("json", "", "also write the combined machine-readable report to this file (all experiments only)")
 		dump       = flag.String("dump", "", "archive the raw per-VP ping-RR results to this file")
 		outdir     = flag.String("outdir", "", "also write each experiment's rendering to its own file in this directory (all experiments only)")
@@ -223,6 +230,10 @@ func main() {
 		step("atlas", func() error { inet.TopologyAtlas(w, 0); return nil })
 	case "lsrr":
 		step("lsrr", func() error { inet.SourceRouteCheck(w, 0); return nil })
+	case "traceroute":
+		step("traceroute", func() error { inet.Doubletree(w, 0, 0); return nil })
+	case "rr-vs-tr":
+		step("rr-vs-tr", func() error { inet.RRvsTraceroute(w, 0); return nil })
 	case "chaos":
 		var scenarios []recordroute.ChaosScenario
 		if *chaosLoss > 0 || *chaosOutages > 0 {

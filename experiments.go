@@ -318,6 +318,70 @@ func (in *Internet) SourceRouteCheck(w io.Writer, perVPCap int) SourceRouteSumma
 	return SourceRouteSummary{Probed: sr.Probed, RRRate: sr.RRRate(), LSRRRate: sr.LSRRRate()}
 }
 
+// DoubletreeSummary is the probe-budget experiment's machine-readable
+// core: what Doubletree's shared stop sets saved over naive
+// exhaustive traceroutes of the same (VP, destination) pairs.
+type DoubletreeSummary struct {
+	VPs, Dests, Rounds int
+	// NaiveProbes and DTProbes are the two arms' probe budgets;
+	// SavedFrac is 1 - DT/naive.
+	NaiveProbes, DTProbes int
+	SavedFrac             float64
+	// StopSetEntries counts the final merged global set's
+	// (iface, dst-prefix) entries.
+	StopSetEntries int
+	// Coverage is the fraction of naive-discovered interfaces
+	// Doubletree also discovered.
+	Coverage float64
+}
+
+// Doubletree runs the Doubletree-vs-naive probe-budget experiment
+// (destCap destinations, 0 for the full hitlist; rounds <= 0 means 4)
+// and renders the comparison to w.
+func (in *Internet) Doubletree(w io.Writer, destCap, rounds int) DoubletreeSummary {
+	dr := in.st.RunDoubletree(destCap, rounds)
+	if w != nil {
+		dr.Render(w)
+	}
+	return DoubletreeSummary{
+		VPs: dr.VPs, Dests: dr.Dests, Rounds: dr.Rounds,
+		NaiveProbes: dr.Naive.Probes, DTProbes: dr.DT.Probes,
+		SavedFrac:      dr.SavedFrac(),
+		StopSetEntries: dr.StopSetLen,
+		Coverage:       dr.Coverage(),
+	}
+}
+
+// RRvsTRSummary is the RR-vs-traceroute path-agreement summary.
+type RRvsTRSummary struct {
+	// Pairs counts (VP, destination) pairs with both an RR stamp list
+	// and a traceroute.
+	Pairs int
+	// RouterOverlapMedian is the median fraction of RR stamps the
+	// traceroute also saw; ASExactFrac and ASAgreeMean score AS-level
+	// path agreement over the RR window.
+	RouterOverlapMedian float64
+	ASExactFrac         float64
+	ASAgreeMean         float64
+}
+
+// RRvsTraceroute compares each M-Lab VP's ping-RR stamps against
+// exhaustive traceroutes of the same destinations (perVPCap per VP; 0
+// for the default) and renders the agreement analysis to w.
+func (in *Internet) RRvsTraceroute(w io.Writer, perVPCap int) RRvsTRSummary {
+	r := in.responsiveness()
+	cr := in.st.RunRRvsTR(r, perVPCap)
+	if w != nil {
+		cr.Render(w)
+	}
+	return RRvsTRSummary{
+		Pairs:               cr.Pairs,
+		RouterOverlapMedian: cr.RouterOverlap.Median,
+		ASExactFrac:         cr.ASExactFrac,
+		ASAgreeMean:         cr.ASAgreeMean,
+	}
+}
+
 // VPResponseSummary is the §3.2 distribution headline.
 type VPResponseSummary struct {
 	// AboveTwoThirds is the share of RR-responsive destinations

@@ -1,0 +1,52 @@
+package analysis
+
+import "net/netip"
+
+// PathLCP returns the length of the longest common prefix of two
+// AS-level paths.
+func PathLCP(a, b []int) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// PathAgreement scores how far two AS paths agree: the longest common
+// prefix over the longer path's length. Two empty paths agree fully
+// (1.0); one empty path agrees not at all (0).
+func PathAgreement(a, b []int) float64 {
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(PathLCP(a, b)) / float64(max)
+}
+
+// OverlapFrac returns the fraction of a's distinct addresses that
+// also appear in b — the router-level containment used to compare RR
+// stamps against traceroute hops. 0 when a is empty.
+func OverlapFrac(a, b []netip.Addr) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	in := make(map[netip.Addr]bool, len(b))
+	for _, x := range b {
+		in[x] = true
+	}
+	seen := make(map[netip.Addr]bool, len(a))
+	hit := 0
+	for _, x := range a {
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		if in[x] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(seen))
+}

@@ -8,6 +8,7 @@ import (
 	"recordroute/internal/obs"
 	"recordroute/internal/probe"
 	"recordroute/internal/topology"
+	"recordroute/internal/trace"
 )
 
 // Fleet is the campaign surface the study layer measures through: a set
@@ -39,6 +40,11 @@ type Fleet interface {
 	PingAll(dests []netip.Addr, count int, opts probe.Options) map[string][][]probe.Result
 	// PingRRUDPAll sends one ping-RRudp from every VP to its targets.
 	PingRRUDPAll(perVP map[string][]netip.Addr, opts probe.Options) map[string][]probe.Result
+	// DoubletreeAll runs one Doubletree traceroute round: each VP
+	// traces its listed targets sequentially under the session's stop
+	// sets (exhaustively when opts.Exhaustive), and the per-VP deltas
+	// are merged into the session's global set afterwards.
+	DoubletreeAll(perVP map[string][]netip.Addr, sess *trace.Session, opts trace.Options) map[string]*trace.VPRound
 	// ShardErrors reports executor slices that failed during earlier
 	// primitives, in shard order; empty while every shard is healthy.
 	// See the partial-results contract above.

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 
 	"recordroute/internal/probe"
 	"recordroute/internal/results"
+	"recordroute/internal/trace"
 )
 
 // DefaultQuantum is the virtual-time width of one journaled campaign
@@ -44,16 +46,22 @@ type JournalMeta struct {
 // journalLine is one JSONL record of a campaign journal. The first
 // line is always the meta record; each journaled phase writes one
 // phase record when it begins, and one vp record per completed VP
-// batch — the incremental result sink. A killed campaign leaves a
+// batch — the incremental result sink. Doubletree phases carry their
+// traces in Traces (the stop-set effects are replayed from them, see
+// trace.Rebuild) and end with one stopset record checkpointing the
+// merged global set through the canonical codec, so a resumed run can
+// verify it reconverged byte-for-byte. A killed campaign leaves a
 // journal that is valid up to its last complete line.
 type journalLine struct {
-	T       string           `json:"t"` // "meta" | "phase" | "vp"
+	T       string           `json:"t"` // "meta" | "phase" | "vp" | "stopset"
 	Meta    *JournalMeta     `json:"meta,omitempty"`
 	Phase   int              `json:"phase"`
 	Kind    string           `json:"kind,omitempty"`
 	VP      string           `json:"vp,omitempty"`
 	Results []results.Wire   `json:"results,omitempty"`
 	Groups  [][]results.Wire `json:"groups,omitempty"`
+	Traces  []trace.Result   `json:"traces,omitempty"`
+	Data    []byte           `json:"data,omitempty"`
 }
 
 // archivedVP is one completed VP batch loaded from a resumed journal.
@@ -61,6 +69,7 @@ type archivedVP struct {
 	kind    string
 	results []probe.Result
 	groups  [][]probe.Result
+	traces  []trace.Result
 }
 
 // WriteShim, when non-nil, wraps the writer behind every journal
@@ -94,6 +103,7 @@ type Journal struct {
 	phase      int // next phase index to hand out
 	phaseKinds map[int]string
 	archived   map[string]*archivedVP // "phase|vp" → completed batch
+	stopsets   map[int][]byte         // phase → codec bytes of the merged stop set
 	sink       func(vp string, rs []probe.Result)
 }
 
@@ -172,7 +182,7 @@ func ResumeJournal(path string, meta JournalMeta) (*Journal, error) {
 		case "phase":
 			j.phaseKinds[rec.Phase] = rec.Kind
 		case "vp":
-			a := &archivedVP{kind: rec.Kind}
+			a := &archivedVP{kind: rec.Kind, traces: rec.Traces}
 			for _, w := range rec.Results {
 				a.results = append(a.results, w.Result())
 			}
@@ -184,6 +194,8 @@ func ResumeJournal(path string, meta JournalMeta) (*Journal, error) {
 				a.groups = append(a.groups, rs)
 			}
 			j.archived[vpKey(rec.Phase, rec.VP)] = a
+		case "stopset":
+			j.stopsets[rec.Phase] = rec.Data
 		default:
 			return nil, fmt.Errorf("measure: journal %s: unknown record type %q", path, rec.T)
 		}
@@ -216,6 +228,7 @@ func newJournal(f *os.File, meta JournalMeta) *Journal {
 		meta:       meta,
 		phaseKinds: make(map[int]string),
 		archived:   make(map[string]*archivedVP),
+		stopsets:   make(map[int][]byte),
 	}
 	if f != nil {
 		j.attach(f, f.Name())
@@ -322,7 +335,7 @@ func (j *Journal) archivedResults(phase int, vp string) ([]probe.Result, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	a := j.archived[vpKey(phase, vp)]
-	if a == nil || a.groups != nil {
+	if a == nil || a.groups != nil || a.traces != nil {
 		return nil, false
 	}
 	return a.results, true
@@ -352,6 +365,48 @@ func (j *Journal) recordResults(phase int, kind, vp string, rs []probe.Result) {
 	if j.sink != nil {
 		j.sink(vp, rs)
 	}
+}
+
+// archivedTraces returns the completed traceroute round for
+// (phase, vp) from a resumed journal, if present.
+func (j *Journal) archivedTraces(phase int, vp string) ([]trace.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	a := j.archived[vpKey(phase, vp)]
+	if a == nil || a.traces == nil {
+		return nil, false
+	}
+	return a.traces, true
+}
+
+// recordTraces journals one freshly completed per-VP traceroute
+// round. The streaming sink is not fed: it speaks probe.Result, and
+// traceroute rounds are consumed through their renders, not streamed.
+func (j *Journal) recordTraces(phase int, kind, vp string, trs []trace.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.encode(journalLine{T: "vp", Phase: phase, Kind: kind, VP: vp, Traces: trs})
+}
+
+// checkStopSet closes a doubletree phase: on a fresh phase it
+// journals the merged global stop set's codec bytes as the phase's
+// checkpoint; on a resumed phase it verifies the re-merged set
+// reproduced the archived bytes exactly. A mismatch means the replay
+// diverged from the original run — the determinism contract is
+// broken — which is a programming error, reported loudly like a
+// phase-kind mismatch.
+func (j *Journal) checkStopSet(phase int, data []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if prev, ok := j.stopsets[phase]; ok {
+		if !bytes.Equal(prev, data) {
+			panic(fmt.Sprintf("measure: journal resume mismatch: phase %d stop set diverged (%d bytes archived, %d rebuilt)",
+				phase, len(prev), len(data)))
+		}
+		return
+	}
+	j.stopsets[phase] = data
+	j.encode(journalLine{T: "stopset", Phase: phase, Data: data})
 }
 
 // recordGroups journals one freshly completed grouped VP batch.

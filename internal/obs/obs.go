@@ -7,6 +7,14 @@
 // an unobserved one. When nothing is attached, the hooks they hang off
 // (netsim.Network.SetTracer, probe.Prober.SetTracer, per-node counter
 // attribution) cost the hot paths a single nil check.
+//
+// Counter families flow in from every layer that owns an engine: the
+// simulator's icmp.*/router.* traffic counters, the prober's probe.*
+// accounting, and the traceroute engine's stop-set economics
+// (trace.stop.global.hit, trace.stop.local.hit, trace.stop.miss,
+// trace.probes.saved). All of these are per-VP quantities counted on
+// the engine that ran the VP, so merged totals are shard-invariant;
+// only counters netsim.CounterIsLocal names are excluded from merging.
 package obs
 
 import (

@@ -184,6 +184,39 @@ func TestSnapshotMergeAndDeterminism(t *testing.T) {
 	}
 }
 
+// TestSnapshotMergesTraceCounters pins the traceroute engine's
+// stop-set counters as ordinary shard-invariant counters: per-VP
+// quantities counted on the engine that ran the VP, so the merged
+// totals sum across any shard partition.
+func TestSnapshotMergesTraceCounters(t *testing.T) {
+	s1 := ShardMetrics{Shard: "shard0", Counters: Counters{
+		"trace.stop.global.hit": 3,
+		"trace.stop.local.hit":  5,
+		"trace.stop.miss":       2,
+		"trace.probes.saved":    40,
+	}}
+	s2 := ShardMetrics{Shard: "shard1", Counters: Counters{
+		"trace.stop.global.hit": 4,
+		"trace.stop.local.hit":  1,
+		"trace.probes.saved":    7,
+	}}
+	for name := range s1.Counters {
+		if netsim.CounterIsLocal(name) {
+			t.Fatalf("%s registered engine-local; stop-set stats must merge", name)
+		}
+	}
+	snap := NewSnapshot("doubletree", s1, s2)
+	want := Counters{
+		"trace.stop.global.hit": 7,
+		"trace.stop.local.hit":  6,
+		"trace.stop.miss":       2,
+		"trace.probes.saved":    47,
+	}
+	if !reflect.DeepEqual(snap.Merged, want) {
+		t.Fatalf("Merged = %v, want %v", snap.Merged, want)
+	}
+}
+
 // TestSnapshotMergeExcludesLocalCounters: engine-local diagnostics
 // (cache/memoization observations, not simulated events) stay visible
 // per shard but never enter the merged totals — they are the one class

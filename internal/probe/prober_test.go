@@ -146,6 +146,68 @@ func TestTTLPingRRRecoversQuotedRR(t *testing.T) {
 	}
 }
 
+// TestTTLPingRRExpiresAtDestinationHop pins the boundary the
+// doubletree forward phase depends on: a probe whose TTL equals the
+// destination's hop distance is answered by the destination itself
+// (an echo reply carrying RR stamps), while one hop less expires at
+// the final router with a readable quoted RR.
+func TestTTLPingRRExpiresAtDestinationHop(t *testing.T) {
+	topo, p, _ := testbed(t)
+	d := pickDests(topo, 1)[0]
+
+	// Find the path length L: the smallest TTL whose probe the
+	// destination answers.
+	pathLen := uint8(0)
+	for ttl := uint8(1); ttl <= 30; ttl++ {
+		var res *Result
+		p.StartOne(Spec{Dst: d.Addr, Kind: TTLPing, TTL: ttl}, time.Second, func(r Result) { res = &r })
+		topo.Net.Engine().Run()
+		if res == nil {
+			t.Fatalf("TTL %d probe never completed", ttl)
+		}
+		if res.Type == EchoReply {
+			pathLen = ttl
+			break
+		}
+		if res.Type != TimeExceeded {
+			t.Fatalf("TTL %d: result %v, want time exceeded en route", ttl, res.Type)
+		}
+	}
+	if pathLen < 2 {
+		t.Fatalf("destination %v at path length %d, want >= 2", d.Addr, pathLen)
+	}
+
+	// TTL == L: the destination is the expiring hop and must reply
+	// itself — an echo reply, not a time exceeded — with RR stamps.
+	var atDest *Result
+	p.StartOne(Spec{Dst: d.Addr, Kind: TTLPingRR, TTL: pathLen}, time.Second, func(r Result) { atDest = &r })
+	topo.Net.Engine().Run()
+	if atDest == nil || atDest.Type != EchoReply {
+		t.Fatalf("TTL==L result = %+v, want echo reply from the destination", atDest)
+	}
+	if atDest.From != d.Addr {
+		t.Errorf("TTL==L reply from %v, want destination %v", atDest.From, d.Addr)
+	}
+	if !atDest.HasRR || len(atDest.RR) == 0 {
+		t.Errorf("TTL==L reply lacks RR stamps: %+v", atDest)
+	}
+
+	// TTL == L-1: expires at the last router before the destination,
+	// whose time exceeded quotes the probe's RR option.
+	var before *Result
+	p.StartOne(Spec{Dst: d.Addr, Kind: TTLPingRR, TTL: pathLen - 1}, time.Second, func(r Result) { before = &r })
+	topo.Net.Engine().Run()
+	if before == nil || before.Type != TimeExceeded {
+		t.Fatalf("TTL==L-1 result = %+v, want time exceeded", before)
+	}
+	if before.From == d.Addr {
+		t.Error("TTL==L-1 error came from the destination itself")
+	}
+	if !before.QuotedRR {
+		t.Errorf("TTL==L-1 quote does not carry the RR option: %+v", before)
+	}
+}
+
 func TestPingRRUDPElicitsPortUnreachable(t *testing.T) {
 	topo, p, _ := testbed(t)
 	var dest *topology.Dest

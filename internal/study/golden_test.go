@@ -28,6 +28,8 @@ func TestGoldenRenders(t *testing.T) {
 		{"fig4_ratelimit", func(b *bytes.Buffer) { s.RunRateLimit(r, 500).Render(b) }},
 		{"fig5_ttl", func(b *bytes.Buffer) { s.RunTTLStudy(r, 200).Render(b) }},
 		{"stamp_audit", func(b *bytes.Buffer) { s.RunStampAudit(r, 50).Render(b) }},
+		{"doubletree_traceroute", func(b *bytes.Buffer) { s.RunDoubletree(120, 3).Render(b) }},
+		{"rr_vs_tr", func(b *bytes.Buffer) { s.RunRRvsTR(r, 50).Render(b) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

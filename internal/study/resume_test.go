@@ -100,6 +100,94 @@ func truncateJournal(t *testing.T, src, dst string) {
 // is cut after half the completed batches, mid-line. (The shard-panic
 // variant of the same property lives in measure's journal tests, where
 // the fault can be injected into a specific replica.)
+// runDoubletreeJournaled mirrors runJournaled for the doubletree
+// experiment.
+func runDoubletreeJournaled(t *testing.T, seed uint64, shards int, path string, resume bool) (*DoubletreeResult, []byte, int) {
+	t.Helper()
+	cfg := topology.DefaultConfig(topology.Epoch2016).Scale(0.15)
+	cfg.Seed = seed
+	s, err := New(cfg, Options{Rate: 200, ShuffleSeed: 7, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.AttachJournal(path, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.RunDoubletree(120, 3)
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if errs := s.Fleet().ShardErrors(); len(errs) > 0 {
+		t.Fatalf("shard errors: %v", errs)
+	}
+	archived := j.Archived()
+	if err := s.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes(), archived
+}
+
+// cutJournalPrefix keeps the first frac of the journal's lines plus a
+// torn half-line — the prefix a killed process actually leaves.
+func cutJournalPrefix(t *testing.T, src, dst string, frac float64) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	keep := int(float64(len(lines)) * frac)
+	if keep < 2 || keep >= len(lines) {
+		t.Fatalf("journal %s has %d lines; cannot cut at %.2f", src, len(lines), frac)
+	}
+	var out bytes.Buffer
+	for _, l := range lines[:keep] {
+		out.Write(l)
+	}
+	out.Write(lines[keep][:len(lines[keep])/2]) // the torn final write
+	if err := os.WriteFile(dst, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoubletreeResumeEqualsUninterrupted extends the
+// checkpoint/resume property to the traceroute engine: a journaled
+// doubletree campaign killed mid-run (the journal cut to a prefix,
+// mid-line) and resumed must reproduce the uninterrupted run —
+// byte-identical render and final global stop set. Archived phases
+// replay through trace.Rebuild rather than re-probing, and each
+// completed phase's stop-set seal is re-verified byte-for-byte against
+// the journal on resume.
+func TestDoubletreeResumeEqualsUninterrupted(t *testing.T) {
+	const seed = 11
+	for _, k := range []int{1, 2} {
+		t.Run(fmt.Sprintf("K%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			full := filepath.Join(dir, "full.jsonl")
+			cut := filepath.Join(dir, "cut.jsonl")
+
+			base, baseRender, archived := runDoubletreeJournaled(t, seed, k, full, false)
+			if archived != 0 {
+				t.Fatalf("fresh journal replayed %d archived batches", archived)
+			}
+
+			cutJournalPrefix(t, full, cut, 0.6)
+			resumed, resumedRender, rearchived := runDoubletreeJournaled(t, seed, k, cut, true)
+			if rearchived == 0 {
+				t.Fatal("resume replayed nothing: the journal cut left no archive")
+			}
+			if !bytes.Equal(resumedRender, baseRender) {
+				t.Errorf("resumed render differs from uninterrupted:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s",
+					baseRender, resumedRender)
+			}
+			if !bytes.Equal(resumed.StopSetBytes, base.StopSetBytes) {
+				t.Errorf("resumed final stop set differs (%d vs %d bytes)",
+					len(resumed.StopSetBytes), len(base.StopSetBytes))
+			}
+		})
+	}
+}
+
 func TestResumeEqualsUninterrupted(t *testing.T) {
 	const seed = 11
 	faults := []struct {

@@ -1,0 +1,347 @@
+package trace
+
+import (
+	"net/netip"
+	"time"
+
+	"recordroute/internal/probe"
+)
+
+// Options controls a traceroute round.
+type Options struct {
+	// MaxTTL bounds the probed hop count; 0 means 30.
+	MaxTTL uint8
+	// GapLimit ends a probing phase after this many consecutive
+	// silent hops; 0 means 4.
+	GapLimit int
+	// Timeout is the per-probe wait; 0 means the prober default.
+	Timeout time.Duration
+	// FirstHop is the forward phase's starting TTL before the VP has
+	// enough destination-distance samples to pick its own midpoint;
+	// 0 means 6.
+	FirstHop uint8
+	// Exhaustive disables both stop sets and probes every destination
+	// classically from TTL 1 — the naive arm doubletree is measured
+	// against, and the mode path-comparison experiments use.
+	Exhaustive bool
+	// RR carries the record-route option on every probe (TTLPingRR
+	// instead of TTLPing), so hop discovery doubles as RR stamping.
+	RR bool
+}
+
+func (o Options) maxTTL() uint8 {
+	if o.MaxTTL == 0 {
+		return 30
+	}
+	return o.MaxTTL
+}
+
+func (o Options) gapLimit() int {
+	if o.GapLimit == 0 {
+		return 4
+	}
+	return o.GapLimit
+}
+
+func (o Options) firstHop() uint8 {
+	if o.FirstHop == 0 {
+		return 6
+	}
+	return o.FirstHop
+}
+
+func (o Options) kind() probe.Kind {
+	if o.RR {
+		return probe.TTLPingRR
+	}
+	return probe.TTLPing
+}
+
+// Hop is one probe of a trace, in probe order (forward phase first,
+// then backward).
+type Hop struct {
+	// TTL is the probe's initial TTL.
+	TTL uint8 `json:"ttl"`
+	// Addr is the responding address; invalid on silence.
+	Addr netip.Addr `json:"addr"`
+	// RTT is the probe round-trip time (zero on silence).
+	RTT time.Duration `json:"rtt"`
+	// Final marks an echo reply from the destination itself.
+	Final bool `json:"final,omitempty"`
+}
+
+// Responded reports whether this hop answered.
+func (h Hop) Responded() bool { return h.Addr.IsValid() }
+
+// Result is one completed (VP, destination) trace. It records enough
+// to replay its effect on the stop sets deterministically (Rebuild),
+// which is what lets journaled campaigns archive traces instead of
+// stop-set state.
+type Result struct {
+	VP  string     `json:"vp"`
+	Dst netip.Addr `json:"dst"`
+	// Hops holds every probe sent, in probe order; Hops[:FwdProbes]
+	// is the forward phase.
+	Hops      []Hop `json:"hops"`
+	FwdProbes int   `json:"fwd"`
+	// Reached reports an echo reply from the destination; DestTTL is
+	// its hop distance — measured when Reached, inferred from the
+	// global set's remaining-hop value when Inferred, 0 when unknown.
+	Reached  bool  `json:"reached,omitempty"`
+	Inferred bool  `json:"inferred,omitempty"`
+	DestTTL  uint8 `json:"dest_ttl,omitempty"`
+	// GlobalStop marks a forward phase halted by a global-set hit;
+	// LocalStop a backward phase halted by a local-set hit. Misses
+	// counts forward responders consulted against the global set that
+	// were absent from it.
+	GlobalStop bool `json:"gstop,omitempty"`
+	LocalStop  bool `json:"lstop,omitempty"`
+	Misses     int  `json:"misses,omitempty"`
+}
+
+// ProbesSent is the number of probes this trace cost.
+func (r Result) ProbesSent() int { return len(r.Hops) }
+
+// HopAddrs returns the responding hop addresses in probe order,
+// excluding silence and the destination's own replies.
+func (r Result) HopAddrs() []netip.Addr {
+	var out []netip.Addr
+	for _, h := range r.Hops {
+		if h.Responded() && !h.Final {
+			out = append(out, h.Addr)
+		}
+	}
+	return out
+}
+
+// Stats aggregates one VP round's probe economics.
+type Stats struct {
+	Traces      int `json:"traces"`
+	Probes      int `json:"probes"`
+	Reached     int `json:"reached"`
+	Inferred    int `json:"inferred"`
+	GlobalStops int `json:"global_stops"`
+	LocalStops  int `json:"local_stops"`
+	Misses      int `json:"misses"`
+	// Saved counts probes a stop-set hit made unnecessary: the
+	// remaining forward hops on a global hit, the remaining backward
+	// hops on a local hit.
+	Saved int `json:"saved"`
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Traces += other.Traces
+	s.Probes += other.Probes
+	s.Reached += other.Reached
+	s.Inferred += other.Inferred
+	s.GlobalStops += other.GlobalStops
+	s.LocalStops += other.LocalStops
+	s.Misses += other.Misses
+	s.Saved += other.Saved
+}
+
+// VPRound is one VP's completed round: its traces, the global-set
+// delta it contributes to the between-rounds merge, and its probe
+// accounting.
+type VPRound struct {
+	VP     string
+	Traces []Result
+	Delta  *GlobalSet
+	Stats  Stats
+}
+
+// Run traces dsts from p strictly sequentially — one destination at a
+// time, each probe chained on the previous response — consulting the
+// frozen global set on the forward phase and st.Local on the backward
+// phase, then calls done with the completed round. Everything runs on
+// the prober's transport event context; the caller drains the engine.
+func Run(vp string, p *probe.Prober, st *VPState, global *GlobalSet, prefixOf func(netip.Addr) netip.Prefix, dsts []netip.Addr, opts Options, done func(*VPRound)) {
+	round := &VPRound{VP: vp, Delta: NewGlobalSet()}
+	if len(dsts) == 0 {
+		p.Schedule(0, func() { done(round) })
+		return
+	}
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(dsts) {
+			done(round)
+			return
+		}
+		traceOne(vp, p, st, global, prefixOf(dsts[i]), dsts[i], opts, func(res Result) {
+			absorb(st, round, res, prefixOf, opts)
+			next(i + 1)
+		})
+	}
+	next(0)
+}
+
+// Rebuild reconstructs a VPRound from archived traces by replaying
+// their effect on the VP's state: the identical delta, stats, local
+// set, and midpoint adaptation the live run produced — the
+// journal-resume path. absorb is a pure function of (prior state,
+// result), so replay order equals live order.
+func Rebuild(vp string, st *VPState, prefixOf func(netip.Addr) netip.Prefix, traces []Result, opts Options) *VPRound {
+	round := &VPRound{VP: vp, Delta: NewGlobalSet()}
+	for _, res := range traces {
+		absorb(st, round, res, prefixOf, opts)
+	}
+	return round
+}
+
+// traceOne runs one doubletree (or exhaustive) trace toward dst.
+func traceOne(vp string, p *probe.Prober, st *VPState, global *GlobalSet, prefix netip.Prefix, dst netip.Addr, opts Options, done func(Result)) {
+	res := Result{VP: vp, Dst: dst}
+	maxTTL, gapLimit := opts.maxTTL(), opts.gapLimit()
+	h := uint8(1)
+	if !opts.Exhaustive {
+		h = st.midTTL(opts)
+		if h > maxTTL {
+			h = maxTTL
+		}
+	}
+	gaps := 0
+	send := func(ttl uint8, cb func(probe.Result)) {
+		p.StartOne(probe.Spec{Dst: dst, Kind: opts.kind(), TTL: ttl}, opts.Timeout, cb)
+	}
+
+	var backward func(t uint8)
+	backward = func(t uint8) {
+		send(t, func(r probe.Result) {
+			switch r.Type {
+			case probe.EchoReply:
+				res.Hops = append(res.Hops, Hop{TTL: t, Addr: r.From, RTT: r.RTT(), Final: true})
+				res.Reached = true
+				if res.DestTTL == 0 || t < res.DestTTL {
+					res.DestTTL = t
+					res.Inferred = false
+				}
+				gaps = 0
+			case probe.TimeExceeded:
+				res.Hops = append(res.Hops, Hop{TTL: t, Addr: r.From, RTT: r.RTT()})
+				gaps = 0
+				if st.Local.Has(r.From) {
+					res.LocalStop = true
+					done(res)
+					return
+				}
+			case probe.NoResponse:
+				res.Hops = append(res.Hops, Hop{TTL: t})
+				gaps++
+				if gaps >= gapLimit {
+					done(res)
+					return
+				}
+			default:
+				// Unreachables and send errors end the trace.
+				res.Hops = append(res.Hops, Hop{TTL: t, Addr: r.From, RTT: r.RTT()})
+				done(res)
+				return
+			}
+			if t <= 1 {
+				done(res)
+				return
+			}
+			backward(t - 1)
+		})
+	}
+
+	// endForward closes the forward phase and opens the backward one
+	// (exhaustive traces start at TTL 1, so there is nothing behind).
+	endForward := func() {
+		res.FwdProbes = len(res.Hops)
+		if opts.Exhaustive || h <= 1 {
+			done(res)
+			return
+		}
+		gaps = 0
+		backward(h - 1)
+	}
+
+	var forward func(t uint8)
+	forward = func(t uint8) {
+		send(t, func(r probe.Result) {
+			switch r.Type {
+			case probe.EchoReply:
+				res.Hops = append(res.Hops, Hop{TTL: t, Addr: r.From, RTT: r.RTT(), Final: true})
+				res.Reached = true
+				res.DestTTL = t
+				endForward()
+				return
+			case probe.TimeExceeded:
+				res.Hops = append(res.Hops, Hop{TTL: t, Addr: r.From, RTT: r.RTT()})
+				gaps = 0
+				if !opts.Exhaustive {
+					if rem, ok := global.Lookup(r.From, prefix); ok {
+						// The path's tail is known: halt, crediting
+						// the remaining hops, and infer the
+						// destination's distance without probing it.
+						res.GlobalStop = true
+						res.Inferred = true
+						res.DestTTL = t + rem
+						endForward()
+						return
+					}
+					res.Misses++
+				}
+			case probe.NoResponse:
+				res.Hops = append(res.Hops, Hop{TTL: t})
+				gaps++
+			default:
+				res.Hops = append(res.Hops, Hop{TTL: t, Addr: r.From, RTT: r.RTT()})
+				res.FwdProbes = len(res.Hops)
+				done(res)
+				return
+			}
+			if t >= maxTTL || gaps >= gapLimit {
+				endForward()
+				return
+			}
+			forward(t + 1)
+		})
+	}
+	forward(h)
+}
+
+// absorb folds one completed trace into the round and the VP's
+// persistent state: probe accounting, the stop-set delta, the local
+// set, and midpoint adaptation. It is also the journal-replay path
+// (Rebuild), so it must stay a pure function of (prior state, result).
+func absorb(st *VPState, round *VPRound, res Result, prefixOf func(netip.Addr) netip.Prefix, opts Options) {
+	round.Traces = append(round.Traces, res)
+	round.Stats.Traces++
+	round.Stats.Probes += len(res.Hops)
+	round.Stats.Misses += res.Misses
+	if res.Reached {
+		round.Stats.Reached++
+	}
+	if res.Inferred {
+		round.Stats.Inferred++
+	}
+	if res.GlobalStop && res.FwdProbes > 0 {
+		round.Stats.GlobalStops++
+		round.Stats.Saved += int(res.DestTTL) - int(res.Hops[res.FwdProbes-1].TTL)
+	}
+	if res.LocalStop && len(res.Hops) > 0 {
+		round.Stats.LocalStops++
+		round.Stats.Saved += int(res.Hops[len(res.Hops)-1].TTL) - 1
+	}
+	if opts.Exhaustive {
+		return
+	}
+	for _, hp := range res.Hops {
+		if hp.Responded() && !hp.Final {
+			st.Local.Add(hp.Addr)
+		}
+	}
+	if res.DestTTL == 0 {
+		return
+	}
+	st.observeDestTTL(res.DestTTL)
+	prefix := prefixOf(res.Dst)
+	for _, hp := range res.Hops {
+		if hp.Responded() && !hp.Final && hp.TTL < res.DestTTL {
+			round.Delta.Add(Key{Iface: hp.Addr, Prefix: prefix}, res.DestTTL-hp.TTL)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("updatecorpus", false, "rewrite the committed seed corpus under testdata/fuzz")
+
+// codecSeeds builds the committed seed corpus: valid serializations of
+// sets the campaign actually produces (empty, single-entry, multi-
+// prefix) plus near-valid mutants that exercise each strict-decode
+// rejection.
+func codecSeeds() [][]byte {
+	rng := rand.New(rand.NewPCG(11, 13))
+	var seeds [][]byte
+	add := func(g *GlobalSet) {
+		b, err := g.MarshalBinary()
+		if err != nil {
+			panic(err)
+		}
+		seeds = append(seeds, b)
+	}
+	add(NewGlobalSet())
+	one := NewGlobalSet()
+	one.Add(Key{Iface: mustAddr("10.0.0.1"), Prefix: mustPrefix("192.0.2.0/24")}, 4)
+	add(one)
+	add(randomSet(rng, 8))
+	add(randomSet(rng, 64))
+
+	// Mutants: each trips one strict-decode check.
+	base, _ := one.MarshalBinary()
+	mutate := func(f func(b []byte)) {
+		b := append([]byte(nil), base...)
+		f(b)
+		seeds = append(seeds, b)
+	}
+	mutate(func(b []byte) { b[0] = 'X' })                // magic
+	mutate(func(b []byte) { b[4] = 9 })                  // version
+	mutate(func(b []byte) { b[codecHeader+4] = 33 })     // bits
+	mutate(func(b []byte) { b[codecHeader+3] = 7 })      // unmasked
+	seeds = append(seeds, base[:len(base)-1])            // truncated
+	seeds = append(seeds, append([]byte(nil), 'r', 'r')) // short header
+	return seeds
+}
+
+// TestUpdateCodecFuzzCorpus rewrites the committed seed corpus for
+// FuzzStopSetCodec (run with -updatecorpus after changing the seed
+// builders). The files use the standard `go test fuzz v1` encoding, so
+// both plain `go test` runs and -fuzz campaigns pick them up.
+func TestUpdateCodecFuzzCorpus(t *testing.T) {
+	if !*updateCorpus {
+		t.Skip("run with -updatecorpus to rewrite testdata/fuzz seeds")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzStopSetCodec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range codecSeeds() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(s))
+	}
+}
+
+// FuzzStopSetCodec pins the stop-set codec's two load-bearing
+// properties: arbitrary bytes never panic the decoder (the bytes cross
+// shard-merge and journal-resume boundaries), and anything it accepts
+// is canonical — re-encoding reproduces the input byte for byte.
+func FuzzStopSetCodec(f *testing.F) {
+	for _, s := range codecSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := UnmarshalGlobalSet(data)
+		if err != nil {
+			return
+		}
+		out, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded set failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode∘encode not identity:\n in  %x\n out %x", data, out)
+		}
+	})
+}

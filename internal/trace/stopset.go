@@ -1,0 +1,155 @@
+// Package trace implements a Doubletree-style traceroute engine
+// ("Efficient Route Tracing from a Single Source", Donnet et al.) on
+// top of the probe layer's TTL-limited pings. Each vantage point
+// probes forward from a midpoint TTL toward the destination and
+// backward from the midpoint toward itself; a per-VP *local* stop set
+// (interfaces this VP already discovered) halts the backward phase,
+// and a *global* stop set of destination-side (interface, dst-prefix)
+// pairs — shared across all VPs and merged across campaign shards —
+// halts the forward phase, eliminating the bulk of the redundant
+// probes a naive full traceroute of every (VP, destination) pair
+// would send.
+//
+// Determinism contract (DESIGN.md §14): within one probing round the
+// global set is a frozen snapshot; each VP accumulates its
+// discoveries into a private delta, and deltas are unioned between
+// rounds with a min-merge on remaining-hop values. Union-with-min is
+// commutative and associative, so the merged set — and therefore
+// every later round's probing decisions — is byte-identical no matter
+// how VPs are partitioned across shards.
+package trace
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// LocalSet is one vantage point's stop set: every router interface
+// the VP has discovered in earlier traces. Backward probing halts
+// when it reaches an interface already in the set — the path below it
+// was (modulo route changes) covered by the trace that discovered it.
+type LocalSet struct {
+	m map[netip.Addr]struct{}
+}
+
+// NewLocalSet returns an empty local stop set.
+func NewLocalSet() *LocalSet {
+	return &LocalSet{m: make(map[netip.Addr]struct{})}
+}
+
+// Has reports whether the interface is already in the set.
+func (s *LocalSet) Has(a netip.Addr) bool {
+	_, ok := s.m[a]
+	return ok
+}
+
+// Add inserts an interface, reporting whether it was new.
+func (s *LocalSet) Add(a netip.Addr) bool {
+	if _, ok := s.m[a]; ok {
+		return false
+	}
+	s.m[a] = struct{}{}
+	return true
+}
+
+// Len returns the number of interfaces in the set.
+func (s *LocalSet) Len() int { return len(s.m) }
+
+// Addrs returns the interfaces in sorted order.
+func (s *LocalSet) Addrs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(s.m))
+	for a := range s.m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Key is one global stop-set entry's identity: a router interface on
+// the destination side of some path, qualified by the destination
+// prefix it was observed en route to. Qualifying by prefix keeps the
+// stop condition sound — an interface stops a trace only toward
+// destinations whose tail it is actually known to lead to.
+type Key struct {
+	Iface  netip.Addr
+	Prefix netip.Prefix
+}
+
+// GlobalSet is the destination-side stop set shared by every VP: for
+// each (interface, dst-prefix) pair, the smallest observed number of
+// remaining hops from that interface to the prefix's representative
+// destination. Forward probing halts on a hit, crediting the
+// remaining hops as saved probes and inferring the destination's hop
+// distance without probing it.
+type GlobalSet struct {
+	m map[Key]uint8
+}
+
+// NewGlobalSet returns an empty global stop set.
+func NewGlobalSet() *GlobalSet {
+	return &GlobalSet{m: make(map[Key]uint8)}
+}
+
+// Lookup returns the remaining-hop count recorded for the pair.
+func (g *GlobalSet) Lookup(iface netip.Addr, prefix netip.Prefix) (rem uint8, ok bool) {
+	rem, ok = g.m[Key{Iface: iface, Prefix: prefix}]
+	return rem, ok
+}
+
+// Add records a pair, keeping the minimum remaining-hop value on
+// conflict. Min-merge makes Union order-independent: the merged set
+// is the same whatever order deltas arrive in, which is what lets
+// sharded campaigns merge per-shard deltas deterministically.
+func (g *GlobalSet) Add(k Key, rem uint8) {
+	if old, ok := g.m[k]; !ok || rem < old {
+		g.m[k] = rem
+	}
+}
+
+// Union merges other into g with Add's min-merge semantics.
+func (g *GlobalSet) Union(other *GlobalSet) {
+	if other == nil {
+		return
+	}
+	for k, rem := range other.m {
+		g.Add(k, rem)
+	}
+}
+
+// Len returns the number of (interface, prefix) entries.
+func (g *GlobalSet) Len() int { return len(g.m) }
+
+// Keys returns the entries in the codec's canonical order: by prefix
+// address, then prefix length, then interface address.
+func (g *GlobalSet) Keys() []Key {
+	out := make([]Key, 0, len(g.m))
+	for k := range g.m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i], out[j]) })
+	return out
+}
+
+// keyLess orders keys canonically.
+func keyLess(a, b Key) bool {
+	if a.Prefix.Addr() != b.Prefix.Addr() {
+		return a.Prefix.Addr().Less(b.Prefix.Addr())
+	}
+	if a.Prefix.Bits() != b.Prefix.Bits() {
+		return a.Prefix.Bits() < b.Prefix.Bits()
+	}
+	return a.Iface.Less(b.Iface)
+}
+
+// Equal reports whether two sets hold identical entries and values.
+func (g *GlobalSet) Equal(other *GlobalSet) bool {
+	if len(g.m) != len(other.m) {
+		return false
+	}
+	for k, rem := range g.m {
+		if o, ok := other.m[k]; !ok || o != rem {
+			return false
+		}
+	}
+	return true
+}
