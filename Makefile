@@ -25,11 +25,11 @@ test: vet
 # parallelism, and once poisoned an entire baseline (the "negative
 # scaling" confound this harness check exists to prevent).
 bench:
-	( $(GO) test -bench 'BenchmarkTable1ResponseRates|BenchmarkFigure1ClosestVPCDF|BenchmarkFigure1StudyShards|BenchmarkFigure2Epochs|BenchmarkBuildVsClone$$|BenchmarkFleetSpinup|BenchmarkLargeScaleCampaign|BenchmarkAblationDecode/reused|BenchmarkSimulatorForwarding' \
+	( $(GO) test -bench 'BenchmarkTable1ResponseRates|BenchmarkFigure1ClosestVPCDF|BenchmarkFigure1StudyShards|BenchmarkOriginPhase|BenchmarkRouteBuild|BenchmarkFigure2Epochs|BenchmarkBuildVsClone$$|BenchmarkFleetSpinup|BenchmarkLargeScaleCampaign|BenchmarkAblationDecode/reused|BenchmarkSimulatorForwarding' \
 		-benchtime 1x -benchmem -run '^$$' . ; \
 	  n=$$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1); \
 	  if [ "$$n" -ge 4 ]; then \
-	    GOMAXPROCS=4 $(GO) test -bench 'BenchmarkFigure1StudyShards|BenchmarkFleetSpinup' \
+	    GOMAXPROCS=4 $(GO) test -bench 'BenchmarkFigure1StudyShards|BenchmarkOriginPhase|BenchmarkRouteBuild|BenchmarkFleetSpinup' \
 		-benchtime 1x -benchmem -run '^$$' . ; \
 	  else \
 	    echo "bench: skipping GOMAXPROCS=4 re-run: host has $$n CPU(s) < 4 (results would be time-slicing noise)" >&2 ; \
@@ -43,19 +43,27 @@ bench-guard:
 	$(GO) test -bench 'BenchmarkAblationDecode|BenchmarkSimulatorForwarding|BenchmarkBuildVsClone$$|BenchmarkFleetSpinup' \
 		-benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchguard -baseline BENCH_parallel.json
 
-# Shard scaling-efficiency gate: run the sharded Figure 1 benchmark at
-# the host's real core count with pprof captures, then require shards=4
-# to beat shards=1 by >= 3x. The gate is host-aware — benchguard skips
-# lines whose numcpu/procs cannot run K shards in parallel, so this
-# target passes (with a note) on undersized hosts instead of flaking.
-# Profiles land in bench_scaling.{cpu,mem,mutex,block}.pprof and the raw
-# output in bench_scaling.txt; CI archives both.
+# Parallelism scaling-efficiency gates: run the three parallel families
+# at the host's real core count with pprof captures, then enforce
+# per-family floors — the sharded Figure 1 study at >= 3x, the
+# destination-sharded origin phase at >= 2x, the parallel route-plane
+# build at >= 2.5x, each for width 4 vs width 1. Every gate is
+# host-aware — benchguard skips lines whose numcpu/procs cannot run K
+# ways in parallel, so this target passes (with a note) on undersized
+# hosts instead of flaking. Profiles land in
+# bench_scaling.{cpu,mem,mutex,block}.pprof and the raw output in
+# bench_scaling.txt; CI archives both.
 bench-scaling:
-	$(GO) test -bench 'BenchmarkFigure1StudyShards' -benchtime 2x -benchmem -run '^$$' \
+	$(GO) test -bench 'BenchmarkFigure1StudyShards|BenchmarkOriginPhase|BenchmarkRouteBuild' \
+		-benchtime 2x -benchmem -run '^$$' \
 		-cpuprofile bench_scaling.cpu.pprof -memprofile bench_scaling.mem.pprof \
 		-mutexprofile bench_scaling.mutex.pprof -blockprofile bench_scaling.block.pprof \
 		. | tee bench_scaling.txt
 	$(GO) run ./cmd/benchguard -baseline BENCH_parallel.json -min-speedup 3 < bench_scaling.txt
+	$(GO) run ./cmd/benchguard -baseline BENCH_parallel.json -min-speedup 2 \
+		-scaling-pin '^BenchmarkOriginPhase/shards=(\d+)$$' < bench_scaling.txt
+	$(GO) run ./cmd/benchguard -baseline BENCH_parallel.json -min-speedup 2.5 \
+		-scaling-pin '^BenchmarkRouteBuild/workers=(\d+)$$' < bench_scaling.txt
 
 # Like bench, but first captures a reference campaign's metrics
 # snapshot (rrstudy -metrics) and embeds it into BENCH_metrics.json, so

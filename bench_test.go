@@ -81,6 +81,92 @@ func BenchmarkFigure1StudyShards(b *testing.B) {
 	}
 }
 
+// BenchmarkOriginPhase times the single-VP origin ping phase (three
+// pings per destination, the paper's responsiveness phase 1) through
+// the destination-sharded executor at K = 1, 2, 4: the fleet is built
+// and warmed outside the timed region, so the phase's own fan-out —
+// contiguous destination ranges across replicas, indexed scheduling,
+// the ordered merge (DESIGN.md §15) — is what the clock sees. Results
+// are K-invariant (the shard property suite asserts it); wall-clock
+// tracks min(K, GOMAXPROCS, NumCPU), recorded per line for the
+// benchguard scaling gate.
+func BenchmarkOriginPhase(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			cfg := topology.DefaultConfig(topology.Epoch2016).Scale(benchScale)
+			s, err := study.New(cfg, study.Options{Rate: 200, ShuffleSeed: 7, Shards: k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dests := s.Data.Addrs()
+			fleet := s.Fleet()
+			if pc, ok := fleet.(*measure.ParallelCampaign); ok {
+				pc.VPNames() // replica cloning is spin-up, not phase time
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				grouped := fleet.PingBatchVP(s.Origin.Name, dests, 3, probe.Options{Rate: 200})
+				if len(grouped) != len(dests) {
+					b.Fatalf("merged %d groups for %d destinations", len(grouped), len(dests))
+				}
+			}
+			b.ReportMetric(float64(len(dests)), "dests")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ReportMetric(float64(runtime.NumCPU()), "numcpu")
+		})
+	}
+}
+
+// benchRouteGraph builds a deterministic two-tier AS graph shaped like
+// the topology generator's output: a meshed transit core, mid-tier
+// providers multi-homed into it, and stub leaves under the mid tier.
+// Big enough (~3k ASes) that per-destination BFS dominates setup.
+func benchRouteGraph() *topology.Graph {
+	const core, mid, leaf = 20, 280, 2700
+	g := topology.NewGraph(core + mid + leaf)
+	for i := 0; i < core; i++ {
+		for j := i + 1; j < core; j++ {
+			g.AddLink(i, j, topology.RelPeer)
+		}
+	}
+	for m := 0; m < mid; m++ {
+		id := core + m
+		g.AddLink(id, m%core, topology.RelProvider)
+		g.AddLink(id, (m*7+3)%core, topology.RelProvider)
+	}
+	for l := 0; l < leaf; l++ {
+		id := core + mid + l
+		g.AddLink(id, core+l%mid, topology.RelProvider)
+		if l%3 == 0 {
+			g.AddLink(id, core+(l*11+5)%mid, topology.RelProvider)
+		}
+	}
+	return g
+}
+
+// BenchmarkRouteBuild times the route-plane build — the all-pairs
+// valley-free next-hop computation that dominates topology.Build — at
+// worker counts 1, 2, 4 via ComputeRoutesParallel. The flat backing
+// array and per-destination row writes make output bit-identical at
+// every width (the routing tests assert it); wall-clock tracks
+// min(workers, GOMAXPROCS, NumCPU), recorded for the scaling gate.
+func BenchmarkRouteBuild(b *testing.B) {
+	g := benchRouteGraph()
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := topology.ComputeRoutesParallel(g, w)
+				if r == nil {
+					b.Fatal("nil routes")
+				}
+			}
+			b.ReportMetric(float64(g.N()), "ases")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ReportMetric(float64(runtime.NumCPU()), "numcpu")
+		})
+	}
+}
+
 // BenchmarkReachabilityRecovery isolates the §3.3 reclassification
 // passes (alias resolution plus ping-RRudp) on top of a shared
 // responsiveness run.

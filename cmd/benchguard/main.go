@@ -12,8 +12,13 @@
 //
 // Benchmarks present in only one of the two sides are reported but do
 // not fail the run (the baseline regenerates via `make bench`, which may
-// trail a freshly added benchmark by one commit). Benchmarks matching
-// -pin that exist on both sides must stay within -tolerance; everything
+// trail a freshly added benchmark by one commit). Baseline entries are
+// keyed by (name, GOMAXPROCS, numcpu) and compared only when the
+// current line ran under the same host shape — parallel stages size
+// worker fleets and per-shard arenas from both knobs, so a 1-CPU
+// baseline says nothing about a 16-CPU run; mismatches are reported
+// and skipped (exit 0). Benchmarks matching -pin that exist on both
+// sides under the same shape must stay within -tolerance; everything
 // else is informational.
 //
 // With -min-speedup N (> 0), the guard additionally enforces shard
@@ -60,8 +65,20 @@ type baseline struct {
 	Results []struct {
 		Name    string             `json:"name"`
 		Procs   int                `json:"procs"`
+		Numcpu  int                `json:"numcpu"`
 		Metrics map[string]float64 `json:"metrics"`
 	} `json:"results"`
+}
+
+// hostKey identifies the execution shape a benchmark line ran under:
+// allocation counts are only comparable between runs with the same
+// GOMAXPROCS and the same CPU count — parallel stages size scratch
+// pools, worker fleets, and per-shard arenas from both, so comparing a
+// 1-CPU baseline against a 16-CPU run reports phantom regressions.
+type hostKey struct {
+	name   string
+	procs  int
+	numcpu int
 }
 
 func main() {
@@ -92,26 +109,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *basePath, err)
 		os.Exit(2)
 	}
-	// Key on name alone, preferring the single-proc entry when the
-	// baseline holds several GOMAXPROCS runs of one benchmark: the CI
-	// smoke runs at default procs, and allocs/op is procs-independent
-	// for these single-threaded-engine paths anyway.
-	baseAllocs := make(map[string]float64)
-	seenProcs := make(map[string]int)
+	// Key on (name, procs, numcpu): a baseline entry is only comparable
+	// when the current line ran under the same GOMAXPROCS and CPU count
+	// (see hostKey). Entries from an older benchjson without per-result
+	// numcpu (zero) act as a wildcard on that axis.
+	baseAllocs := make(map[hostKey]float64)
+	baseNames := make(map[string]bool)
 	for _, r := range base.Results {
 		a, ok := r.Metrics["allocs/op"]
 		if !ok {
 			continue
 		}
-		if p, dup := seenProcs[r.Name]; dup && p <= r.Procs {
-			continue
+		baseAllocs[hostKey{r.Name, r.Procs, r.Numcpu}] = a
+		baseNames[r.Name] = true
+	}
+	lookup := func(name string, procs, numcpu int) (float64, bool) {
+		if a, ok := baseAllocs[hostKey{name, procs, numcpu}]; ok {
+			return a, true
 		}
-		baseAllocs[r.Name] = a
-		seenProcs[r.Name] = r.Procs
+		a, ok := baseAllocs[hostKey{name, procs, 0}] // pre-numcpu baseline
+		return a, ok
 	}
 
 	failed := false
-	checked := 0
+	checked, mismatched := 0, 0
 	var lines []benchfmt.Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -125,9 +146,22 @@ func main() {
 		if !ok {
 			continue
 		}
-		want, ok := baseAllocs[r.Name]
+		ncpu := runtime.NumCPU()
+		if v, has := r.Metrics["numcpu"]; has && v > 0 {
+			ncpu = int(v)
+		}
+		want, ok := lookup(r.Name, r.Procs, ncpu)
 		if !ok {
-			fmt.Printf("benchguard: %-50s %8.0f allocs/op (no baseline, skipped)\n", r.Name, cur)
+			if baseNames[r.Name] {
+				// The baseline knows this benchmark but only from a
+				// different host shape — informational, never a failure.
+				if pinRE.MatchString(r.Name) {
+					mismatched++
+				}
+				fmt.Printf("benchguard: %-50s %8.0f allocs/op (baseline from different procs/numcpu, skipped)\n", r.Name, cur)
+			} else {
+				fmt.Printf("benchguard: %-50s %8.0f allocs/op (no baseline, skipped)\n", r.Name, cur)
+			}
 			continue
 		}
 		limit := want * (1 + *tolerance)
@@ -154,9 +188,15 @@ func main() {
 		scalingOK = checkScaling(lines, scalingRE, *minSpeedup)
 	}
 	// A run with no pinned allocs benchmark is a harness wiring error —
-	// unless the invocation is a scaling-gate run, whose input
-	// legitimately holds only the scaling benchmark family.
+	// unless the invocation is a scaling-gate run (whose input
+	// legitimately holds only the scaling benchmark family), or every
+	// pinned match was skipped because the baseline came from a host
+	// with different procs/numcpu (a mismatched host is not miswiring).
 	if checked == 0 && *minSpeedup <= 0 {
+		if mismatched > 0 {
+			fmt.Printf("benchguard: %d pinned benchmark(s) skipped: baseline host shape differs; nothing to compare\n", mismatched)
+			os.Exit(0)
+		}
 		fmt.Fprintln(os.Stderr, "benchguard: no pinned benchmark matched both the run and the baseline")
 		os.Exit(2)
 	}
@@ -172,39 +212,48 @@ func main() {
 }
 
 // checkScaling enforces the -min-speedup floor over the current run's
-// shard-scaling lines: each shards=K (K>1) line is compared against the
-// shards=1 line at the same GOMAXPROCS. Lines on hosts that cannot run
-// K shards in parallel (procs < K, or the line's numcpu metric — this
+// shard-scaling lines: each K>1 line is compared against the K=1 line
+// of the same benchmark family at the same GOMAXPROCS. Families are
+// the name up to the captured K, so one -scaling-pin may span several
+// benchmark families (e.g. Figure1StudyShards and OriginPhase) without
+// cross-contaminating their baselines. Lines on hosts that cannot run
+// K ways in parallel (procs < K, or the line's numcpu metric — this
 // process's runtime.NumCPU when absent — below K) are skipped with a
 // note instead of failing: undersized hardware is not a regression.
 func checkScaling(lines []benchfmt.Result, re *regexp.Regexp, min float64) bool {
-	base := make(map[int]benchfmt.Result) // GOMAXPROCS → shards=1 line
+	type famKey struct {
+		family string
+		procs  int
+	}
+	base := make(map[famKey]benchfmt.Result) // (family, GOMAXPROCS) → K=1 line
 	type scaledLine struct {
-		r benchfmt.Result
-		k int
+		r   benchfmt.Result
+		k   int
+		fam string
 	}
 	var scaled []scaledLine
 	for _, r := range lines {
-		m := re.FindStringSubmatch(r.Name)
-		if m == nil || len(m) < 2 {
+		idx := re.FindStringSubmatchIndex(r.Name)
+		if idx == nil || len(idx) < 4 || idx[2] < 0 {
 			continue
 		}
-		k, err := strconv.Atoi(m[1])
+		k, err := strconv.Atoi(r.Name[idx[2]:idx[3]])
 		if err != nil || k < 1 {
 			continue
 		}
+		family := r.Name[:idx[2]]
 		if k == 1 {
-			base[r.Procs] = r
+			base[famKey{family, r.Procs}] = r
 		} else {
-			scaled = append(scaled, scaledLine{r, k})
+			scaled = append(scaled, scaledLine{r, k, family})
 		}
 	}
 	ok := true
 	eligible := 0
 	for _, s := range scaled {
-		b, have := base[s.r.Procs]
+		b, have := base[famKey{s.fam, s.r.Procs}]
 		if !have || b.NsPerOp <= 0 || s.r.NsPerOp <= 0 {
-			fmt.Printf("benchguard: %-50s no shards=1 line at procs=%d, scaling unchecked\n", s.r.Name, s.r.Procs)
+			fmt.Printf("benchguard: %-50s no K=1 line for %s at procs=%d, scaling unchecked\n", s.r.Name, s.fam, s.r.Procs)
 			continue
 		}
 		ncpu := runtime.NumCPU()

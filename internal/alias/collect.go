@@ -21,13 +21,22 @@ func Collect(p *probe.Prober, addrs []netip.Addr, rounds int, opts probe.Options
 		}
 	}
 	p.StartBatch(specs, opts, func(rs []probe.Result) {
-		series := make(map[netip.Addr]Series, len(addrs))
-		for _, r := range rs {
-			if r.Type != probe.EchoReply {
-				continue
-			}
-			series[r.Dst] = append(series[r.Dst], Sample{At: r.RcvdAt, ID: r.ReplyIPID})
-		}
-		done(series)
+		done(SeriesFrom(rs))
 	})
+}
+
+// SeriesFrom folds raw ping results into per-address IP-ID series, in
+// result order. It is the collection half of Collect for callers that
+// schedule the interleaved rounds themselves (e.g. a destination-sharded
+// fleet probing disjoint candidate subsets on separate replicas).
+// Unanswered probes contribute no samples.
+func SeriesFrom(rs []probe.Result) map[netip.Addr]Series {
+	series := make(map[netip.Addr]Series)
+	for _, r := range rs {
+		if r.Type != probe.EchoReply {
+			continue
+		}
+		series[r.Dst] = append(series[r.Dst], Sample{At: r.RcvdAt, ID: r.ReplyIPID})
+	}
+	return series
 }

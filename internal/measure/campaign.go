@@ -40,6 +40,23 @@ type Fleet interface {
 	PingAll(dests []netip.Addr, count int, opts probe.Options) map[string][][]probe.Result
 	// PingRRUDPAll sends one ping-RRudp from every VP to its targets.
 	PingRRUDPAll(perVP map[string][]netip.Addr, opts probe.Options) map[string][]probe.Result
+	// PingBatchVP sends count plain pings per destination from the
+	// single named VP — the origin phases the paper runs from one
+	// vantage point. A sharded executor fans contiguous destination
+	// ranges across its engine replicas; send times and sequence numbers
+	// derive from each destination's global index, so the merge is
+	// invariant under shard count mod ReplyIPID (DESIGN.md §15).
+	// Results are grouped per destination in send order; nil when the
+	// VP is unknown.
+	PingBatchVP(vp string, dests []netip.Addr, count int, opts probe.Options) [][]probe.Result
+	// PingSeriesVP probes every address rounds times from the named VP,
+	// round-major interleaved (the alias IP-ID sampling schedule), and
+	// returns flat results in global spec order (round*len(addrs)+i). A
+	// sharded executor partitions addresses across replicas keeping all
+	// addresses that share group[i] on one replica, so IP-ID series
+	// compared pairwise stay co-located with their shared counters;
+	// group may be nil when no such constraint exists.
+	PingSeriesVP(vp string, addrs []netip.Addr, group []int, rounds int, opts probe.Options) []probe.Result
 	// DoubletreeAll runs one Doubletree traceroute round: each VP
 	// traces its listed targets sequentially under the session's stop
 	// sets (exhaustively when opts.Exhaustive), and the per-VP deltas
@@ -137,6 +154,41 @@ func (c *Campaign) PingAll(dests []netip.Addr, count int, opts probe.Options) ma
 		vp := vp
 		vp.PingBatch(dests, count, opts, func(rs [][]probe.Result) { out[vp.Name] = rs })
 	}
+	c.Eng.Run()
+	return out
+}
+
+// PingBatchVP sends count plain pings per destination from the single
+// named VP over the shared engine — the full [0,len(dests)) range of
+// the indexed schedule, byte-identical to what a sharded fleet's merged
+// ranges produce (mod ReplyIPID).
+func (c *Campaign) PingBatchVP(name string, dests []netip.Addr, count int, opts probe.Options) [][]probe.Result {
+	checkCanceled(c.ctx)
+	vp := c.byName[name]
+	if vp == nil {
+		return nil
+	}
+	var out [][]probe.Result
+	vp.PingBatchRange(dests, 0, len(dests), count, opts, func(gs [][]probe.Result) { out = gs })
+	c.Eng.Run()
+	return out
+}
+
+// PingSeriesVP probes every address rounds times from the named VP on
+// the shared engine, in round-major interleaved order. group is unused
+// here: one engine holds every counter.
+func (c *Campaign) PingSeriesVP(name string, addrs []netip.Addr, group []int, rounds int, opts probe.Options) []probe.Result {
+	checkCanceled(c.ctx)
+	vp := c.byName[name]
+	if vp == nil {
+		return nil
+	}
+	sel := make([]int, len(addrs))
+	for i := range sel {
+		sel[i] = i
+	}
+	var out []probe.Result
+	vp.PingSeriesSlice(addrs, sel, rounds, opts, func(rs []probe.Result) { out = rs })
 	c.Eng.Run()
 	return out
 }

@@ -355,15 +355,25 @@ func (j *Journal) archivedGroups(phase int, vp string) ([][]probe.Result, bool) 
 // recordResults journals one freshly completed flat VP batch and feeds
 // the streaming sink.
 func (j *Journal) recordResults(phase int, kind, vp string, rs []probe.Result) {
+	j.recordResultsAs(phase, kind, vp, vp, rs)
+}
+
+// recordResultsAs journals a flat batch under an archive key that may
+// differ from the VP name the streaming sink sees. Destination-sharded
+// single-VP phases checkpoint each shard's range separately (key
+// "vp#shard", so resume restores exactly the ranges that completed)
+// while the sink — which speaks real VP names to live consumers —
+// receives the batch as the VP itself.
+func (j *Journal) recordResultsAs(phase int, kind, key, sinkVP string, rs []probe.Result) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	line := journalLine{T: "vp", Phase: phase, Kind: kind, VP: vp, Results: make([]results.Wire, len(rs))}
+	line := journalLine{T: "vp", Phase: phase, Kind: kind, VP: key, Results: make([]results.Wire, len(rs))}
 	for i, r := range rs {
 		line.Results[i] = results.ToWire(r)
 	}
 	j.encode(line)
 	if j.sink != nil {
-		j.sink(vp, rs)
+		j.sink(sinkVP, rs)
 	}
 }
 
@@ -411,9 +421,15 @@ func (j *Journal) checkStopSet(phase int, data []byte) {
 
 // recordGroups journals one freshly completed grouped VP batch.
 func (j *Journal) recordGroups(phase int, kind, vp string, gs [][]probe.Result) {
+	j.recordGroupsAs(phase, kind, vp, vp, gs)
+}
+
+// recordGroupsAs is recordGroups with a separate archive key and sink
+// VP name; see recordResultsAs.
+func (j *Journal) recordGroupsAs(phase int, kind, key, sinkVP string, gs [][]probe.Result) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	line := journalLine{T: "vp", Phase: phase, Kind: kind, VP: vp, Groups: make([][]results.Wire, len(gs))}
+	line := journalLine{T: "vp", Phase: phase, Kind: kind, VP: key, Groups: make([][]results.Wire, len(gs))}
 	var flat []probe.Result
 	for i, g := range gs {
 		ws := make([]results.Wire, len(g))
@@ -425,7 +441,7 @@ func (j *Journal) recordGroups(phase int, kind, vp string, gs [][]probe.Result) 
 	}
 	j.encode(line)
 	if j.sink != nil {
-		j.sink(vp, flat)
+		j.sink(sinkVP, flat)
 	}
 }
 

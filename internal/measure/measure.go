@@ -61,6 +61,50 @@ func (vp *VantagePoint) PingBatch(dsts []netip.Addr, count int, opts probe.Optio
 	})
 }
 
+// PingBatchRange sends the [lo,hi) destination slice of a count-round
+// indexed ping batch over dests. The global schedule is PingBatch's —
+// count rounds, round-major, index g = round*len(dests) + destIdx — but
+// every probe derives its send time and sequence numbers from g via
+// StartIndexedBatch, so contiguous ranges run on separate engine
+// replicas reproduce the unsplit batch per destination. Results come
+// back grouped per destination of the range, in send order.
+func (vp *VantagePoint) PingBatchRange(dests []netip.Addr, lo, hi, count int, opts probe.Options, done func([][]probe.Result)) {
+	if count < 1 {
+		count = 1
+	}
+	width := hi - lo
+	specs := make([]probe.IndexedSpec, 0, width*count)
+	for r := 0; r < count; r++ {
+		for i := lo; i < hi; i++ {
+			specs = append(specs, probe.IndexedSpec{Index: r*len(dests) + i, Spec: probe.Spec{Dst: dests[i], Kind: probe.Ping}})
+		}
+	}
+	vp.Prober.StartIndexedBatch(specs, opts, func(rs []probe.Result) {
+		grouped := make([][]probe.Result, width)
+		for i := 0; i < width; i++ {
+			for r := 0; r < count; r++ {
+				grouped[i] = append(grouped[i], rs[r*width+i])
+			}
+		}
+		done(grouped)
+	})
+}
+
+// PingSeriesSlice sends the selected addresses' slice of a rounds-round
+// interleaved ping series over addrs (alias collection's IP-ID sampling
+// schedule): round-major, global index g = round*len(addrs) + addrIdx.
+// sel lists this slice's addr indices in increasing order. Results
+// arrive in slice spec order — rounds blocks of len(sel).
+func (vp *VantagePoint) PingSeriesSlice(addrs []netip.Addr, sel []int, rounds int, opts probe.Options, done func([]probe.Result)) {
+	specs := make([]probe.IndexedSpec, 0, len(sel)*rounds)
+	for r := 0; r < rounds; r++ {
+		for _, i := range sel {
+			specs = append(specs, probe.IndexedSpec{Index: r*len(addrs) + i, Spec: probe.Spec{Dst: addrs[i], Kind: probe.Ping}})
+		}
+	}
+	vp.Prober.StartIndexedBatch(specs, opts, done)
+}
+
 // PingRRBatch sends one ping-RR to every destination.
 func (vp *VantagePoint) PingRRBatch(dsts []netip.Addr, opts probe.Options, done func([]probe.Result)) {
 	vp.Prober.StartBatch(specsFor(dsts, probe.PingRR), opts, done)

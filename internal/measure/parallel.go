@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,7 @@ type ParallelCampaign struct {
 	buildErr  error
 	replicas  []*replica
 	vpShard   map[string]int // VP name → replica index
+	vpIndex   map[string]int // VP name → campaign index (prober ID base)
 	vpNames   []string       // campaign order, as the sequential path sees it
 
 	observer *obs.Observer   // applied to each replica at init; nil observes nothing
@@ -79,6 +81,16 @@ type replica struct {
 	topo *topology.Topology
 	eng  *netsim.Engine
 	vps  []*VantagePoint
+
+	// ghosts are lazily created stand-ins for VPs homed on other shards,
+	// used by destination-sharded single-VP phases (PingBatchVP,
+	// PingSeriesVP): the same named host on this replica, driven by a
+	// prober with the VP's campaign ID so wire images match the
+	// sequential run's byte-for-byte. Safe because the VP's home prober
+	// lives in a different replica engine — IDs never clash within one
+	// engine — and this replica's host had no sniffer before. Created
+	// and used only from this replica's dispatch goroutine.
+	ghosts map[string]*VantagePoint
 
 	dead bool
 	err  error
@@ -294,12 +306,14 @@ func (pc *ParallelCampaign) init() error {
 		// sequential prober ID assignment (0x4000+i) so wire images and
 		// reply matching are identical to Campaign's.
 		pc.vpShard = make(map[string]int, len(src.VPs))
+		pc.vpIndex = make(map[string]int, len(src.VPs))
 		for i, v := range src.VPs {
 			shard := i % k
 			rep := pc.replicas[shard]
 			rv := rep.topo.VPByName(v.Name)
 			rep.vps = append(rep.vps, NewVantagePoint(rv.Name, rv.Host, rep.eng, uint16(0x4000+i)))
 			pc.vpShard[v.Name] = shard
+			pc.vpIndex[v.Name] = i
 			pc.vpNames = append(pc.vpNames, v.Name)
 		}
 		for _, rep := range pc.replicas {
@@ -621,6 +635,193 @@ func (pc *ParallelCampaign) PingRRUDPAll(perVP map[string][]netip.Addr, opts pro
 				})
 			})
 		}
+		rep.eng.Run()
+	})
+	pc.syncClocks()
+	pc.endPhase(phase, journaled)
+	return out
+}
+
+// shardVP returns the named VP's prober instance on rep — the assigned
+// VantagePoint on its home shard, a lazily created ghost elsewhere (see
+// replica.ghosts). Must be called from rep's dispatch goroutine.
+func (pc *ParallelCampaign) shardVP(rep *replica, name string) *VantagePoint {
+	if pc.vpShard[name] == rep.idx {
+		for _, vp := range rep.vps {
+			if vp.Name == name {
+				return vp
+			}
+		}
+	}
+	if vp := rep.ghosts[name]; vp != nil {
+		return vp
+	}
+	rv := rep.topo.VPByName(name)
+	if rv == nil {
+		return nil
+	}
+	vp := NewVantagePoint(rv.Name, rv.Host, rep.eng, uint16(0x4000+pc.vpIndex[name]))
+	if o := pc.observer; o.Active() && o.Trace != nil {
+		vp.Prober.SetTracer(o.Trace.ProberTracer(vp.Name))
+	}
+	if rep.ghosts == nil {
+		rep.ghosts = make(map[string]*VantagePoint)
+	}
+	rep.ghosts[name] = vp
+	return vp
+}
+
+// destRange is shard s's contiguous slice of an n-item destination
+// list split across k shards: balanced, deterministic, order-preserving.
+func destRange(n, k, s int) (lo, hi int) {
+	return s * n / k, (s + 1) * n / k
+}
+
+// rangeKey is the journal archive key for one shard's slice of a
+// destination-sharded single-VP phase. It is journal-internal: range
+// records stream to the live sink under the VP's real name.
+func rangeKey(vp string, shard int) string { return fmt.Sprintf("%s#%d", vp, shard) }
+
+// partitionByGroup assigns addr indices 0..n-1 to k bins such that all
+// indices sharing a group value land in one bin, greedily balancing bin
+// sizes over groups in first-appearance order. Deterministic in its
+// inputs; each bin comes back sorted ascending. A nil group slice makes
+// every index its own group.
+func partitionByGroup(n int, group []int, k int) [][]int {
+	var order []int
+	members := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		g := i
+		if group != nil {
+			g = group[i]
+		}
+		if _, ok := members[g]; !ok {
+			order = append(order, g)
+		}
+		members[g] = append(members[g], i)
+	}
+	bins := make([][]int, k)
+	load := make([]int, k)
+	for _, g := range order {
+		best := 0
+		for s := 1; s < k; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		bins[best] = append(bins[best], members[g]...)
+		load[best] += len(members[g])
+	}
+	for s := range bins {
+		sort.Ints(bins[s])
+	}
+	return bins
+}
+
+// PingBatchVP sends count plain pings per destination from the single
+// named VP, fanning contiguous destination ranges across the fleet's
+// replicas: shard s probes destRange(len(dests), K, s) on its own clone
+// through the VP's home prober or a ghost stand-in. Because every
+// probe's send time and sequence numbers derive from its global
+// destination index (StartIndexedBatch), the merged per-destination
+// groups are invariant under K mod ReplyIPID — including per-packet
+// fault draws, which are content-keyed on the seq. On a journaled
+// campaign each completed range checkpoints under a range key and
+// streams to the sink as the VP itself.
+func (pc *ParallelCampaign) PingBatchVP(name string, dests []netip.Addr, count int, opts probe.Options) [][]probe.Result {
+	pc.mustInit()
+	if count < 1 {
+		count = 1
+	}
+	phase, journaled := pc.beginPhase("ping-batch-vp")
+	k := len(pc.replicas)
+	grouped := make([][]probe.Result, len(dests))
+	skip := make(map[int]bool)
+	if journaled {
+		for s := 0; s < k; s++ {
+			lo, hi := destRange(len(dests), k, s)
+			if lo == hi {
+				continue
+			}
+			if gs, ok := pc.journal.archivedGroups(phase, rangeKey(name, s)); ok {
+				copy(grouped[lo:hi], gs)
+				skip[s] = true
+			}
+		}
+	}
+	pc.eachShard(func(rep *replica) {
+		lo, hi := destRange(len(dests), k, rep.idx)
+		if lo == hi || skip[rep.idx] {
+			return
+		}
+		vp := pc.shardVP(rep, name)
+		if vp == nil {
+			return
+		}
+		vp.PingBatchRange(dests, lo, hi, count, opts, func(gs [][]probe.Result) {
+			copy(grouped[lo:hi], gs) // disjoint ranges: no two shards share an element
+			pc.checkpoint(func() {
+				if journaled {
+					pc.journal.recordGroupsAs(phase, "ping-batch-vp", rangeKey(name, rep.idx), name, gs)
+				}
+			})
+		})
+		rep.eng.Run()
+	})
+	pc.syncClocks()
+	pc.endPhase(phase, journaled)
+	return grouped
+}
+
+// PingSeriesVP probes every address rounds times from the named VP in
+// round-major interleaved order, partitioning addresses across replicas
+// with partitionByGroup so that addresses sharing group[i] — alias
+// candidates whose IP-ID counters must stay co-located — always sample
+// the same replica's counters. Results merge back into global spec
+// order (round*len(addrs) + addrIdx).
+func (pc *ParallelCampaign) PingSeriesVP(name string, addrs []netip.Addr, group []int, rounds int, opts probe.Options) []probe.Result {
+	pc.mustInit()
+	if rounds < 1 {
+		rounds = 1
+	}
+	phase, journaled := pc.beginPhase("ping-series-vp")
+	k := len(pc.replicas)
+	sel := partitionByGroup(len(addrs), group, k)
+	out := make([]probe.Result, rounds*len(addrs))
+	scatter := func(idxs []int, rs []probe.Result) {
+		for j, r := range rs {
+			out[(j/len(idxs))*len(addrs)+idxs[j%len(idxs)]] = r
+		}
+	}
+	skip := make(map[int]bool)
+	if journaled {
+		for s := 0; s < k; s++ {
+			if len(sel[s]) == 0 {
+				continue
+			}
+			if rs, ok := pc.journal.archivedResults(phase, rangeKey(name, s)); ok {
+				scatter(sel[s], rs)
+				skip[s] = true
+			}
+		}
+	}
+	pc.eachShard(func(rep *replica) {
+		idxs := sel[rep.idx]
+		if len(idxs) == 0 || skip[rep.idx] {
+			return
+		}
+		vp := pc.shardVP(rep, name)
+		if vp == nil {
+			return
+		}
+		vp.PingSeriesSlice(addrs, idxs, rounds, opts, func(rs []probe.Result) {
+			scatter(idxs, rs) // disjoint index sets: no two shards share an element
+			pc.checkpoint(func() {
+				if journaled {
+					pc.journal.recordResultsAs(phase, "ping-series-vp", rangeKey(name, rep.idx), name, rs)
+				}
+			})
+		})
 		rep.eng.Run()
 	})
 	pc.syncClocks()

@@ -131,7 +131,12 @@ func (c *Network) adoptRouter(o *Router, r *Router, ifaces []*Iface) {
 		routeBase:   o.routeBase,
 		ipid:        seedIPID(o.name),
 	}
-	r.limiter, r.errLimiter = o.behavior.newLimiters()
+	// Policer state is copy-on-write: no bucket is allocated here — the
+	// replica materializes its own from the shared behavior config on
+	// first token consumption (Router.optionsLimiter/icmpErrLimiter),
+	// which is exact because a fresh bucket starts full and refills clamp
+	// at burst. Clones of a dirty source therefore behave like fresh
+	// builds, and unpoliced replicas never pay for bucket heap.
 	if o.faults != nil {
 		f := *o.faults
 		f.wFlips = 0 // no withdrawal window observed yet at clock zero

@@ -163,3 +163,71 @@ func TestCounterpartMapsNodes(t *testing.T) {
 		t.Fatal("Counterpart(nil) != nil")
 	}
 }
+
+// runPingRRBurst injects k simultaneous ping-RR probes and drains the
+// engine, returning the surviving replies — enough pressure to make a
+// policed router spend its whole token bucket.
+func runPingRRBurst(t *testing.T, n *Network, baseID uint16, k int) []capturedPacket {
+	t.Helper()
+	var replies []capturedPacket
+	vp := n.Node("vp").(*Host)
+	vp.SetSniffer(func(at time.Duration, pkt []byte) {
+		replies = append(replies, capturedPacket{at: at, raw: append([]byte(nil), pkt...)})
+	})
+	for i := 0; i < k; i++ {
+		vp.Inject(makePingRR(t, a(vpAddrStr), a(destAddrStr), baseID+uint16(i), 1, 64, 9))
+	}
+	n.Engine().Run()
+	return replies
+}
+
+// TestClonePolicerEqualsFreshBuildUnderRateLimit is the copy-on-write
+// policer property: clone a source whose token buckets have been run
+// dry, and the clone must behave byte-for-byte like a fresh build — the
+// replica materializes its own full bucket on first use instead of
+// inheriting (or deep-copying) the source's drained state, and replica
+// traffic never touches the source's policer.
+func TestClonePolicerEqualsFreshBuildUnderRateLimit(t *testing.T) {
+	policed := func(i int) RouterBehavior {
+		if i == 1 {
+			// Small burst clips the simultaneous forward wave; the high
+			// refill rate lets the surviving replies back through a few
+			// virtual milliseconds later.
+			return RouterBehavior{OptionsRateLimit: 500, OptionsRateBurst: 3, ICMPErrorRateLimit: 4}
+		}
+		return RouterBehavior{}
+	}
+	const burst = 6
+
+	fresh := buildChain(3, policed, DefaultHostBehavior())
+	want := runPingRRBurst(t, fresh.net, 100, burst)
+	if len(want) == 0 || len(want) == burst {
+		t.Fatalf("reference run passed %d/%d probes; rate limit not exercised", len(want), burst)
+	}
+
+	src := buildChain(3, policed, DefaultHostBehavior())
+	runPingRRBurst(t, src.net, 100, burst) // drain the source's bucket
+	srcDrops := src.net.Counter("router.drop.ratelimit")
+	if srcDrops == 0 {
+		t.Fatal("source run drained nothing")
+	}
+
+	clone := src.net.Clone()
+	cr := clone.Node("r1").(*Router)
+	if cr.limiter != nil || cr.errLimiter != nil {
+		t.Fatal("clone materialized policer buckets eagerly; want copy-on-write")
+	}
+	got := runPingRRBurst(t, clone, 100, burst)
+	sameReplies(t, got, want)
+	if cd := clone.Counter("router.drop.ratelimit"); cd != srcDrops {
+		t.Errorf("clone dropped %d, fresh-equivalent source dropped %d", cd, srcDrops)
+	}
+
+	sr := src.net.Node("r1").(*Router)
+	if cr.limiter == nil {
+		t.Fatal("clone traffic never materialized its policer")
+	}
+	if cr.limiter == sr.limiter {
+		t.Fatal("clone shares the source's mutable token bucket")
+	}
+}

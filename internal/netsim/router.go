@@ -100,26 +100,34 @@ func (n *Network) AddRouter(name string, behavior RouterBehavior) *Router {
 		local:    make(map[netip.Addr]bool),
 		ipid:     seedIPID(name),
 	}
-	r.limiter, r.errLimiter = behavior.newLimiters()
 	n.register(r)
 	return r
 }
 
-// newLimiters builds the pristine slow-path and ICMP-error policers the
-// behavior calls for (nil when unlimited). Replica cloning reuses this
-// so cloned routers start with the exact token state a fresh build has.
-func (b RouterBehavior) newLimiters() (limiter, errLimiter *TokenBucket) {
-	if b.OptionsRateLimit > 0 {
-		burst := b.OptionsRateBurst
+// optionsLimiter returns the slow-path policer, materializing it on
+// first use. Policer state is copy-on-write across replica clones: the
+// frozen plane carries only the behavior's rate config, and each
+// network allocates its own mutable bucket the first time a policed
+// packet arrives. Exact because a fresh bucket starts full and Allow's
+// refill clamps at burst — a bucket born at virtual time t is
+// indistinguishable from one born at time 0 and first consulted at t.
+func (r *Router) optionsLimiter() *TokenBucket {
+	if r.limiter == nil && r.behavior.OptionsRateLimit > 0 {
+		burst := r.behavior.OptionsRateBurst
 		if burst <= 0 {
-			burst = b.OptionsRateLimit
+			burst = r.behavior.OptionsRateLimit
 		}
-		limiter = NewTokenBucket(b.OptionsRateLimit, burst)
+		r.limiter = NewTokenBucket(r.behavior.OptionsRateLimit, burst)
 	}
-	if b.ICMPErrorRateLimit > 0 {
-		errLimiter = NewTokenBucket(b.ICMPErrorRateLimit, b.ICMPErrorRateLimit/2)
+	return r.limiter
+}
+
+// icmpErrLimiter is optionsLimiter for the ICMP-error policer.
+func (r *Router) icmpErrLimiter() *TokenBucket {
+	if r.errLimiter == nil && r.behavior.ICMPErrorRateLimit > 0 {
+		r.errLimiter = NewTokenBucket(r.behavior.ICMPErrorRateLimit, r.behavior.ICMPErrorRateLimit/2)
 	}
-	return limiter, errLimiter
+	return r.errLimiter
 }
 
 // Name returns the router's name.
@@ -283,7 +291,7 @@ func (r *Router) Receive(pkt []byte, on *Iface) {
 			}
 			return
 		}
-		if r.limiter != nil && !r.limiter.Allow(r.net.Now()) {
+		if lim := r.optionsLimiter(); lim != nil && !lim.Allow(r.net.Now()) {
 			r.countName("router.drop.ratelimit")
 			if r.net.tracer != nil {
 				r.trace("router.drop.ratelimit")
@@ -463,7 +471,7 @@ func (r *Router) sendTimeExceeded(orig []byte, on *Iface) {
 		}
 		return
 	}
-	if r.errLimiter != nil && !r.errLimiter.Allow(r.net.Now()) {
+	if lim := r.icmpErrLimiter(); lim != nil && !lim.Allow(r.net.Now()) {
 		r.countName("router.drop.errlimit")
 		if r.net.tracer != nil {
 			r.trace("router.drop.errlimit")

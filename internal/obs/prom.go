@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Prometheus text exposition (format version 0.0.4), written directly:
@@ -22,13 +23,18 @@ type PromSample struct {
 	Value  float64
 }
 
-// PromFamily is one metric family: name, help text, type ("gauge" or
-// "counter"), and its samples.
+// PromFamily is one metric family: name, help text, type ("gauge",
+// "counter", or "histogram"), and its samples. A histogram family's
+// samples are its cumulative buckets (le label, ascending, +Inf last);
+// Sum and Count complete it and render as <name>_sum / <name>_count.
 type PromFamily struct {
 	Name    string
 	Help    string
 	Type    string
 	Samples []PromSample
+
+	Sum   float64
+	Count uint64
 }
 
 // promName sanitizes s into a legal Prometheus metric-name fragment:
@@ -101,11 +107,24 @@ func WriteProm(w io.Writer, fams []PromFamily) error {
 			return err
 		}
 		samples := append([]PromSample(nil), f.Samples...)
-		sort.Slice(samples, func(i, j int) bool {
-			return promLabels(samples[i].Labels) < promLabels(samples[j].Labels)
-		})
+		series := name
+		if typ == "histogram" {
+			// Buckets keep the family's ascending-le order (a lexical
+			// label sort would scramble them, +Inf first) and render
+			// under the conventional _bucket series name.
+			series = name + "_bucket"
+		} else {
+			sort.Slice(samples, func(i, j int) bool {
+				return promLabels(samples[i].Labels) < promLabels(samples[j].Labels)
+			})
+		}
 		for _, s := range samples {
-			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, promLabels(s.Labels), promFloat(s.Value)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", series, promLabels(s.Labels), promFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+		if typ == "histogram" {
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(f.Sum), name, f.Count); err != nil {
 				return err
 			}
 		}
@@ -157,4 +176,51 @@ func (s *Snapshot) PromFamilies(prefix string) []PromFamily {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// PromHistogram is a minimal fixed-bucket Prometheus histogram: the
+// service's latency families (plane-build duration) without a client
+// library, matching the hand-rolled counter/gauge exposition above.
+// Observations are goroutine-safe; the zero value is unusable — make
+// one with NewPromHistogram.
+type PromHistogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	buckets []uint64  // non-cumulative counts per bound, last is +Inf
+	sum     float64
+	count   uint64
+}
+
+// NewPromHistogram returns a histogram over the given ascending upper
+// bounds (seconds, by convention); the +Inf bucket is implicit.
+func NewPromHistogram(bounds ...float64) *PromHistogram {
+	return &PromHistogram{bounds: bounds, buckets: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *PromHistogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+}
+
+// Family snapshots the histogram as one Prometheus family: cumulative
+// buckets in ascending-le order (rendered by WriteProm under
+// <name>_bucket), plus the _sum/_count pair.
+func (h *PromHistogram) Family(name, help string) PromFamily {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fam := PromFamily{Name: name, Help: help, Type: "histogram", Sum: h.sum, Count: h.count}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i]
+		fam.Samples = append(fam.Samples, PromSample{
+			Labels: map[string]string{"le": promFloat(b)}, Value: float64(cum)})
+	}
+	fam.Samples = append(fam.Samples, PromSample{
+		Labels: map[string]string{"le": "+Inf"}, Value: float64(h.count)})
+	return fam
 }

@@ -91,3 +91,44 @@ func TestSnapshotPromFamilies(t *testing.T) {
 		}
 	}
 }
+
+// TestPromHistogramExposition pins the histogram rendering: cumulative
+// buckets in ascending-le order under <name>_bucket, the implicit +Inf
+// bucket equal to the observation count, and the _sum/_count pair.
+func TestPromHistogramExposition(t *testing.T) {
+	h := NewPromHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, []PromFamily{h.Family("build_seconds", "build time")}); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP build_seconds build time
+# TYPE build_seconds histogram
+build_seconds_bucket{le="0.1"} 1
+build_seconds_bucket{le="1"} 3
+build_seconds_bucket{le="10"} 4
+build_seconds_bucket{le="+Inf"} 5
+build_seconds_sum 56.05
+build_seconds_count 5
+`
+	if got := buf.String(); got != want {
+		t.Errorf("histogram exposition:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPromHistogramBoundary pins the le semantics: an observation equal
+// to a bound lands in that bound's bucket (le is inclusive).
+func TestPromHistogramBoundary(t *testing.T) {
+	h := NewPromHistogram(1, 2)
+	h.Observe(1)
+	h.Observe(2)
+	fam := h.Family("x", "")
+	if got := fam.Samples[0].Value; got != 1 {
+		t.Errorf("le=1 bucket = %v, want 1 (inclusive upper bound)", got)
+	}
+	if got := fam.Samples[1].Value; got != 2 {
+		t.Errorf("le=2 bucket = %v, want 2", got)
+	}
+}

@@ -116,7 +116,14 @@ type probeOp struct {
 	attempts    int
 	seqs        []uint16
 	resolved    bool
-	external    bool // Expect-registered: sent elsewhere, RTT unusable
+	external    bool // RTT unusable: Expect-registered or indexed (see StartIndexedBatch)
+
+	// indexed ops draw position-derived sequence numbers instead of the
+	// shared counter: attempt k uses indexedBase + (k-1). Destination-
+	// sharded campaign phases rely on this to keep seqs — and therefore
+	// content-keyed fault draws — invariant under shard count.
+	indexed     bool
+	indexedBase uint16
 }
 
 // pendingProbe is one transmitted attempt awaiting a response.
@@ -230,10 +237,25 @@ func (p *Prober) start(spec Spec, maxAttempts int, timeout time.Duration, done f
 // sendAttempt transmits the op's next attempt, or fails the op when no
 // sequence number is available or the spec cannot be serialized.
 func (p *Prober) sendAttempt(op *probeOp) {
-	seq, ok := p.allocSeq()
-	if !ok {
-		p.failOp(op, 0, ErrTooManyOutstanding)
-		return
+	var seq uint16
+	if op.indexed {
+		// Attempt k (1-based) always uses indexedBase + (k-1); attempts
+		// has not been incremented yet, so it equals k-1 here. A busy
+		// entry means two live indexed ops landed on the same 16-bit
+		// value — a programming error in the caller's index spacing, and
+		// silently mismatching replies would corrupt the determinism
+		// contract, so fail loudly.
+		seq = op.indexedBase + uint16(op.attempts)
+		if _, busy := p.pending[seq]; busy {
+			panic("probe: indexed sequence collision (seq space too dense for batch)")
+		}
+	} else {
+		var ok bool
+		seq, ok = p.allocSeq()
+		if !ok {
+			p.failOp(op, 0, ErrTooManyOutstanding)
+			return
+		}
 	}
 	wire, err := op.spec.build(p.tr.LocalAddr(), p.id, seq)
 	if err != nil {
@@ -344,6 +366,72 @@ func (p *Prober) StartBatch(specs []Spec, opts Options, done func([]Result)) {
 	for i := 0; i < SendWindow && i < len(specs); i++ {
 		i := i
 		p.tr.Schedule(time.Duration(i)*interval, func() { launch(i) })
+	}
+}
+
+// IndexedSpec is one entry of an indexed batch: a probe spec pinned to
+// its global position in a larger (possibly sharded) destination list.
+type IndexedSpec struct {
+	// Index is the spec's position in the full batch. It fixes both the
+	// send time (t0 + Index*interval) and the sequence numbers (attempt
+	// k uses Index*attempts + k - 1, mod 2^16).
+	Index int
+	Spec  Spec
+}
+
+// StartIndexedBatch is StartBatch for a — possibly sparse — slice of a
+// larger logical batch. Everything observable about a probe is derived
+// from its global Index rather than from prober state: launch i fires
+// at exactly t0 + Index*interval, and each attempt's sequence number is
+// Index*opts.attempts() + (attempt-1). The shared sequence counter is
+// never consumed, the first-attempt timeout is the fixed opts.Timeout
+// (Adaptive is ignored), and matched RTTs do not feed the prober's
+// EWMA. Consequently a batch split into contiguous index ranges across
+// engine replicas produces, per destination, byte-identical probe
+// traffic to the unsplit batch — the invariant destination-sharded
+// origin phases are built on (DESIGN.md §15).
+//
+// Sends are windowed exactly like StartBatch: launch i chains launch
+// i+SendWindow after (Index_{i+W} - Index_i) * interval, which on the
+// integer-nanosecond virtual clock lands at exactly t0 + Index*interval
+// even when the index slice is sparse.
+func (p *Prober) StartIndexedBatch(specs []IndexedSpec, opts Options, done func([]Result)) {
+	if len(specs) == 0 {
+		p.tr.Schedule(0, func() { done(nil) })
+		return
+	}
+	results := make([]Result, len(specs))
+	remaining := len(specs)
+	interval := time.Duration(float64(time.Second) / opts.rate())
+	attempts := opts.attempts()
+	timeout := opts.timeout()
+	var launch func(i int)
+	launch = func(i int) {
+		if next := i + SendWindow; next < len(specs) {
+			d := time.Duration(specs[next].Index-specs[i].Index) * interval
+			p.tr.Schedule(d, func() { launch(next) })
+		}
+		op := &probeOp{
+			spec:        specs[i].Spec,
+			maxAttempts: attempts,
+			baseTimeout: timeout,
+			firstSentAt: p.tr.Now(),
+			indexed:     true,
+			indexedBase: uint16(specs[i].Index * attempts),
+			external:    true,
+			done: func(r Result) {
+				results[i] = r
+				remaining--
+				if remaining == 0 {
+					done(results)
+				}
+			},
+		}
+		p.sendAttempt(op)
+	}
+	for i := 0; i < SendWindow && i < len(specs); i++ {
+		i := i
+		p.tr.Schedule(time.Duration(specs[i].Index)*interval, func() { launch(i) })
 	}
 }
 

@@ -337,3 +337,104 @@ func TestEmptyBatchCompletes(t *testing.T) {
 		t.Error("empty batch did not complete")
 	}
 }
+
+// TestIndexedBatchDenseMatchesStartBatch: with dense indices, single
+// attempts, and a fixed timeout, StartIndexedBatch is byte-identical to
+// StartBatch on a fresh prober — same seqs, send times, and outcomes.
+// This is what keeps pre-existing goldens stable when origin phases
+// switch to the indexed path.
+func TestIndexedBatchDenseMatchesStartBatch(t *testing.T) {
+	topoA, pa, _ := testbed(t)
+	dests := pickDests(topoA, 20)
+	specs := make([]Spec, len(dests))
+	for i, d := range dests {
+		specs[i] = Spec{Dst: d.Addr, Kind: PingRR}
+	}
+	var want []Result
+	pa.StartBatch(specs, Options{Rate: 100}, func(rs []Result) { want = rs })
+	topoA.Net.Engine().Run()
+
+	topoB, pb, _ := testbed(t)
+	idx := make([]IndexedSpec, len(specs))
+	for i := range specs {
+		idx[i] = IndexedSpec{Index: i, Spec: specs[i]}
+	}
+	var got []Result
+	pb.StartIndexedBatch(idx, Options{Rate: 100}, func(rs []Result) { got = rs })
+	topoB.Net.Engine().Run()
+
+	if want == nil || got == nil {
+		t.Fatal("a batch never completed")
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Seq != w.Seq || g.SentAt != w.SentAt || g.RcvdAt != w.RcvdAt ||
+			g.Type != w.Type || g.From != w.From || g.ReplyIPID != w.ReplyIPID {
+			t.Errorf("probe %d: indexed %+v != batch %+v", i, g, w)
+		}
+	}
+}
+
+// TestIndexedBatchShardsEqualUnsplit: splitting an indexed batch into
+// contiguous ranges run on separate (identically built) networks yields
+// per-destination results identical to the unsplit batch — send times
+// and sequence numbers derive from the global index, retransmissions
+// included — and never consumes the prober's shared sequence counter.
+func TestIndexedBatchShardsEqualUnsplit(t *testing.T) {
+	opts := Options{Rate: 200, Retries: 1}
+	build := func(lo, hi int) (*topology.Topology, *Prober, []Result) {
+		topo, p, _ := testbed(t)
+		n := 150
+		if len(topo.Dests) < n {
+			n = len(topo.Dests)
+		}
+		if hi > n {
+			hi = n
+		}
+		specs := make([]IndexedSpec, 0, hi-lo)
+		for g := lo; g < hi; g++ {
+			specs = append(specs, IndexedSpec{Index: g, Spec: Spec{Dst: topo.Dests[g].Addr, Kind: Ping}})
+		}
+		var rs []Result
+		p.StartIndexedBatch(specs, opts, func(out []Result) { rs = out })
+		topo.Net.Engine().Run()
+		if rs == nil {
+			t.Fatalf("indexed batch [%d,%d) never completed", lo, hi)
+		}
+		return topo, p, rs
+	}
+
+	topo, _, full := build(0, 1<<30)
+	n := len(full)
+	cut := n / 2
+	_, pLow, low := build(0, cut)
+	_, _, high := build(cut, n)
+	merged := append(append([]Result(nil), low...), high...)
+
+	sawTimeout := false
+	for g := range full {
+		w, m := full[g], merged[g]
+		if m.Seq != w.Seq || m.SentAt != w.SentAt || m.RcvdAt != w.RcvdAt ||
+			m.Type != w.Type || m.From != w.From || m.ReplyIPID != w.ReplyIPID {
+			t.Errorf("dest %d: sharded %+v != unsplit %+v", g, m, w)
+		}
+		if w.Type == NoResponse {
+			sawTimeout = true
+			if wantSeq := uint16(2*g + 1); w.Seq != wantSeq {
+				t.Errorf("dest %d final attempt seq = %d, want %d", g, w.Seq, wantSeq)
+			}
+		}
+	}
+	if !sawTimeout {
+		t.Error("no unresponsive destination exercised the retransmit path")
+	}
+	_ = topo
+
+	// Indexed batches must not consume the shared counter: the next
+	// counter-allocated probe still draws seq 0.
+	var one Result
+	pLow.StartOne(Spec{Dst: topo.Dests[0].Addr, Kind: Ping}, 0, func(r Result) { one = r })
+	if one.Seq != 0 && one.Type == NoResponse {
+		t.Errorf("counter-allocated probe after indexed batch drew seq %d, want 0", one.Seq)
+	}
+}

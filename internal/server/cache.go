@@ -8,6 +8,7 @@ package server
 
 import (
 	"sync"
+	"time"
 
 	"recordroute/internal/topology"
 )
@@ -27,6 +28,13 @@ type planeCache struct {
 	tick   uint64 // LRU clock
 	hits   uint64
 	misses uint64
+
+	// onBuild, when set, observes each cache-miss build's wall-clock
+	// duration in seconds (snapshot included) — the server feeds its
+	// plane-build latency histogram through it. Failed builds are
+	// observed too: their latency is exactly what an operator staring
+	// at a slow /metrics wants to see.
+	onBuild func(seconds float64)
 }
 
 // planeEntry is one cached plane. ready is closed once the build
@@ -68,9 +76,13 @@ func (c *planeCache) Get(cfg topology.Config) (topo *topology.Topology, hit bool
 	c.mu.Unlock()
 
 	if !ok {
+		start := time.Now()
 		built, berr := topology.Build(cfg)
 		if berr == nil {
 			e.snap = topology.SnapshotOf(built)
+		}
+		if c.onBuild != nil {
+			c.onBuild(time.Since(start).Seconds())
 		}
 		e.err = berr
 		close(e.ready)

@@ -216,8 +216,8 @@ type Job struct {
 	attempts  int    // execution attempts started
 	degraded  bool   // the journal degraded during some attempt
 	cacheHit  bool
-	done      int // completed VP batches (archived + freshly probed)
-	total     int // VP batches the campaign will complete, once known
+	done      int // completed batch checkpoints (archived + freshly probed)
+	total     int // batch checkpoints the campaign will complete, once known
 	stream    []byte
 	render    []byte
 	finalized bool // terminal bookkeeping (journal release, eviction) ran
@@ -259,6 +259,11 @@ func (j *Job) status() Status {
 type Server struct {
 	cfg   Config
 	cache *planeCache
+
+	// buildSeconds is the plane-build latency histogram behind the
+	// /metrics rrstudyd_plane_build_seconds family: one observation per
+	// frozen-plane cache miss (build + snapshot wall-clock).
+	buildSeconds *obs.PromHistogram
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -310,7 +315,12 @@ func New(cfg Config) (*Server, error) {
 		jobs:     make(map[string]*Job),
 		journals: make(map[string]string),
 		queue:    make(chan *Job, cfg.QueueCap),
+		// Bounds straddle the profiles the service actually builds:
+		// small smoke planes land in the millisecond buckets, full-scale
+		// plane builds in the seconds range.
+		buildSeconds: obs.NewPromHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30),
 	}
+	s.cache.onBuild = s.buildSeconds.Observe
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -670,7 +680,17 @@ func (s *Server) runOnce(job *Job) (out attemptOutcome) {
 	defer st.CloseJournal()
 
 	job.mu.Lock()
+	// One ping-RR batch checkpoint per VP, plus the origin's
+	// destination-sharded ping phase: one range checkpoint per shard
+	// (DESIGN.md §15), each streamed under the origin's name.
 	job.total = len(st.Topo.VPs)
+	if pc, ok := st.Fleet().(*measure.ParallelCampaign); ok {
+		ranges := pc.NumShards()
+		if n := len(st.Topo.VPs); ranges > n {
+			ranges = n // init clamps shards to the VP count
+		}
+		job.total += ranges
+	}
 	job.done = jn.Archived()
 	job.mu.Unlock()
 	jn.SetSink(func(vp string, rs []probe.Result) {
@@ -981,9 +1001,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Samples: []obs.PromSample{{Value: float64(topology.Builds())}}},
 		{Name: "rrstudyd_job_batches_done", Help: "completed VP batches per job (archived + fresh)", Type: "gauge",
 			Samples: progress},
-		{Name: "rrstudyd_job_batches_total", Help: "VP batches the job's campaign completes", Type: "gauge",
+		{Name: "rrstudyd_job_batches_total", Help: "batch checkpoints the job's campaign completes", Type: "gauge",
 			Samples: totals},
 	}
+	fams = append(fams, s.buildSeconds.Family(
+		"rrstudyd_plane_build_seconds",
+		"frozen-plane build duration per cache miss (build + snapshot)"))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.WriteProm(w, fams)
 }

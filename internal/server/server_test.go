@@ -21,9 +21,17 @@ import (
 // same parameters as the study package's golden files (scale 0.25,
 // rate 200, shuffle seed 7, default world seed), so the service render
 // can be diffed against testdata/golden/table1_responsiveness.txt.
+// Shards is pinned so batch-checkpoint totals — len(VPs) ping-RR
+// batches plus smokeShards origin ranges — don't vary with the host's
+// CPU count (renders are shard-invariant either way).
 func smokeSpec() JobSpec {
-	return JobSpec{Experiment: "table1", Scale: 0.25, Rate: 200, ShuffleSeed: 7}
+	return JobSpec{Experiment: "table1", Scale: 0.25, Rate: 200, ShuffleSeed: 7, Shards: smokeShards}
 }
+
+// smokeShards is smokeSpec's pinned executor width: the origin's
+// destination-sharded ping phase checkpoints and streams exactly this
+// many range batches before the per-VP ping-RR batches.
+const smokeShards = 2
 
 func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
@@ -155,8 +163,11 @@ func TestStreamAndStatus(t *testing.T) {
 	if err != nil {
 		t.Fatalf("stream is not valid JSONL: %v", err)
 	}
-	if len(perVP) != st.Total {
-		t.Errorf("stream covers %d VPs, want %d", len(perVP), st.Total)
+	// The stream carries st.Total lines, but the origin's smokeShards
+	// range lines collapse into its single VP key — and the origin also
+	// sends a ping-RR batch, so distinct VPs = st.Total - smokeShards.
+	if len(perVP) != st.Total-smokeShards {
+		t.Errorf("stream covers %d VPs, want %d", len(perVP), st.Total-smokeShards)
 	}
 	for vp, rs := range perVP {
 		if len(rs) == 0 {
@@ -277,16 +288,25 @@ func TestQueueBackpressure(t *testing.T) {
 		t.Fatalf("queued job failed after release: %s", st.Error)
 	}
 
-	// /metrics exposes the service gauges the criteria name.
+	// /metrics exposes the service gauges the criteria name, plus the
+	// plane-build latency histogram (at least one cache miss ran above,
+	// so its _count must be non-zero).
 	_, metrics := get(t, ts, "/metrics")
 	for _, want := range []string{
 		"rrstudyd_queue_depth",
 		"rrstudyd_cache_hits_total",
 		"rrstudyd_job_batches_done{job=\"job-1\"}",
 		"rrstudyd_topology_builds_total",
+		"rrstudyd_plane_build_seconds_bucket{le=\"+Inf\"}",
+		"rrstudyd_plane_build_seconds_sum",
 	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("/metrics missing %s:\n%s", want, metrics)
+		}
+	}
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if v, ok := strings.CutPrefix(line, "rrstudyd_plane_build_seconds_count "); ok && v == "0" {
+			t.Errorf("plane-build histogram observed no builds:\n%s", metrics)
 		}
 	}
 }

@@ -21,10 +21,14 @@ type shardRun struct {
 	resp   *Responsiveness
 	render []byte
 	merged []byte // canonical JSON of the merged metrics counters
-	errs   []string
+	aliases string // alias partition from reachability's sharded collection
+	errs    []string
 }
 
-// runSharded builds and runs one study cell.
+// runSharded builds and runs one study cell: responsiveness (whose
+// phase 1 exercises the destination-sharded PingBatchVP) and
+// reachability (whose alias resolution exercises the group-partitioned
+// PingSeriesVP).
 func runSharded(t *testing.T, seed uint64, fc *netsim.FaultConfig, shards int) shardRun {
 	t.Helper()
 	cfg := topology.DefaultConfig(topology.Epoch2016).Scale(0.15)
@@ -35,9 +39,12 @@ func runSharded(t *testing.T, seed uint64, fc *netsim.FaultConfig, shards int) s
 		t.Fatal(err)
 	}
 	run := shardRun{shards: shards, resp: s.RunResponsiveness()}
+	re := s.RunReachability(run.resp)
+	run.aliases = fmt.Sprint(re.AliasSets.All())
 
 	var buf bytes.Buffer
 	run.resp.Render(&buf)
+	re.Render(&buf)
 	run.render = buf.Bytes()
 
 	merged, err := json.Marshal(s.Metrics("prop").Merged)
@@ -55,11 +62,14 @@ func runSharded(t *testing.T, seed uint64, fc *netsim.FaultConfig, shards int) s
 }
 
 // TestShardDeterminismProperty is the table-driven determinism
-// contract (DESIGN.md §6–7): for every seed, with and without a fault
-// plan, running the campaign on K=2 and K=4 shards must reproduce the
-// K=1 sequential run exactly — byte-identical Table 1 render,
-// per-VP result streams equal field-for-field apart from ReplyIPID,
-// byte-identical merged metrics counters, and no shard failures.
+// contract (DESIGN.md §6–7, §15): for every seed, with and without a
+// fault plan, running the campaign on K=2 and K=4 shards must
+// reproduce the K=1 run exactly — byte-identical Table 1 and
+// reachability renders (covering the destination-sharded origin ping
+// phase and the group-partitioned alias collection), identical alias
+// partitions, per-VP result streams equal field-for-field apart from
+// ReplyIPID, byte-identical merged metrics counters, and no shard
+// failures.
 func TestShardDeterminismProperty(t *testing.T) {
 	seeds := []uint64{3, 11, 29}
 	faults := []struct {
@@ -89,6 +99,10 @@ func TestShardDeterminismProperty(t *testing.T) {
 					if !bytes.Equal(got.merged, base.merged) {
 						t.Errorf("K=%d: merged metrics differ from sequential:\nK=1: %s\nK=%d: %s",
 							k, base.merged, k, got.merged)
+					}
+					if got.aliases != base.aliases {
+						t.Errorf("K=%d: alias partition differs from sequential:\nK=1: %s\nK=%d: %s",
+							k, base.aliases, k, got.aliases)
 					}
 					comparePerVP(t, k, base.resp, got.resp)
 				}

@@ -120,12 +120,16 @@ func (s *Study) resolveAliases(r *Responsiveness) (*alias.Sets, int) {
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Less(cands[j]) })
 
 	fleet := s.Fleet()
-	var series map[netip.Addr]alias.Series
-	alias.Collect(fleet.VP(s.Origin.Name).Prober, cands, 5, s.Opts.probeOpts(), func(m map[netip.Addr]alias.Series) {
-		series = m
-	})
-	fleet.Run()
-	sets := alias.Resolve(series, pairs, alias.Config{})
+	// Candidate probing fans across a sharded fleet's replicas; grouping
+	// by origin AS keeps both halves of every candidate pair — always
+	// same-AS by the filter above — sampling one replica's IP-ID
+	// counters, so the pairwise MIDAR comparisons stay meaningful.
+	groups := make([]int, len(cands))
+	for i, a := range cands {
+		groups[i] = s.Data.OriginASN(a)
+	}
+	rs := fleet.PingSeriesVP(s.Origin.Name, cands, groups, 5, s.Opts.probeOpts())
+	sets := alias.Resolve(alias.SeriesFrom(rs), pairs, alias.Config{})
 	n := analysis.ApplyAliases(r.Stats, r.PerVP, sets.Canonical)
 	return sets, n
 }

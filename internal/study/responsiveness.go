@@ -45,10 +45,10 @@ func (s *Study) RunResponsiveness() *Responsiveness {
 	fleet := s.Fleet()
 
 	// Phase 1: three plain pings per destination from the origin host
-	// (the paper's USC machine).
-	var grouped [][]probe.Result
-	fleet.VP(s.Origin.Name).PingBatch(r.Dests, 3, s.Opts.probeOpts(), func(g [][]probe.Result) { grouped = g })
-	fleet.Run()
+	// (the paper's USC machine). Routed through the fleet's single-VP
+	// batch primitive: on a sharded executor the destination list fans
+	// across the engine replicas in contiguous ranges (DESIGN.md §15).
+	grouped := fleet.PingBatchVP(s.Origin.Name, r.Dests, 3, s.Opts.probeOpts())
 	r.PingResp = analysis.PingResponsive(r.Dests, grouped)
 
 	// Phase 2: one ping-RR per destination from every VP, each VP in

@@ -1,5 +1,11 @@
 package topology
 
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
 // Gao-Rexford policy routing over an AS-relationship graph.
 //
 // Each AS selects one best route per destination following the standard
@@ -257,18 +263,61 @@ type Routes struct {
 }
 
 // ComputeRoutes builds the full next-hop matrix. All rows share one flat
-// n×n backing array — one allocation instead of n — and the per-
-// destination class/dist scratch is reused across iterations.
+// n×n backing array — one allocation instead of n — and rows are
+// computed on a bounded worker pool sized to the host (each destination
+// row is independent; see ComputeRoutesParallel).
 func ComputeRoutes(g *Graph) *Routes {
+	return ComputeRoutesParallel(g, 0)
+}
+
+// ComputeRoutesParallel is ComputeRoutes with an explicit worker count
+// (workers <= 0 selects min(GOMAXPROCS, NumCPU)). Per-destination rows
+// are independent — each worker owns its own class/dist scratch and
+// writes only row d of the shared flat backing array, so the result is
+// bit-identical to the serial build regardless of worker count or
+// scheduling.
+func ComputeRoutesParallel(g *Graph, workers int) *Routes {
 	r := &Routes{g: g, Next: make([][]int32, g.n)}
 	flat := make([]int32, g.n*g.n)
-	class := make([]int8, g.n)
-	dist := make([]int32, g.n)
-	for d := 0; d < g.n; d++ {
-		row := flat[d*g.n : (d+1)*g.n : (d+1)*g.n]
-		g.nextHopsInto(d, row, class, dist)
-		r.Next[d] = row
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if nc := runtime.NumCPU(); nc < workers {
+			workers = nc
+		}
 	}
+	if workers > g.n {
+		workers = g.n
+	}
+	if workers <= 1 {
+		class := make([]int8, g.n)
+		dist := make([]int32, g.n)
+		for d := 0; d < g.n; d++ {
+			row := flat[d*g.n : (d+1)*g.n : (d+1)*g.n]
+			g.nextHopsInto(d, row, class, dist)
+			r.Next[d] = row
+		}
+		return r
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			class := make([]int8, g.n)
+			dist := make([]int32, g.n)
+			for {
+				d := int(next.Add(1)) - 1
+				if d >= g.n {
+					return
+				}
+				row := flat[d*g.n : (d+1)*g.n : (d+1)*g.n]
+				g.nextHopsInto(d, row, class, dist)
+				r.Next[d] = row
+			}
+		}()
+	}
+	wg.Wait()
 	return r
 }
 

@@ -201,3 +201,31 @@ func TestNextHopsClassAndDist(t *testing.T) {
 		t.Errorf("dst: dist=%d nh=%d", dist[7], nh[7])
 	}
 }
+
+// TestComputeRoutesParallelMatchesSerial pins the parallel route build's
+// determinism contract: every worker count produces the exact matrix the
+// serial build does, row for row, on both the textbook graph and random
+// well-formed hierarchies.
+func TestComputeRoutesParallelMatchesSerial(t *testing.T) {
+	graphs := []*Graph{buildTestGraph()}
+	for seed := int64(1); seed <= 4; seed++ {
+		graphs = append(graphs, randomHierarchy(seed))
+	}
+	for gi, g := range graphs {
+		want := ComputeRoutesParallel(g, 1)
+		for _, workers := range []int{2, 3, 4, 8, 0} {
+			got := ComputeRoutesParallel(g, workers)
+			if len(got.Next) != len(want.Next) {
+				t.Fatalf("graph %d workers=%d: %d rows, want %d", gi, workers, len(got.Next), len(want.Next))
+			}
+			for d := range want.Next {
+				for a := range want.Next[d] {
+					if got.Next[d][a] != want.Next[d][a] {
+						t.Fatalf("graph %d workers=%d: Next[%d][%d] = %d, want %d",
+							gi, workers, d, a, got.Next[d][a], want.Next[d][a])
+					}
+				}
+			}
+		}
+	}
+}
