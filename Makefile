@@ -27,6 +27,7 @@ test: vet
 bench:
 	( $(GO) test -bench 'BenchmarkTable1ResponseRates|BenchmarkFigure1ClosestVPCDF|BenchmarkFigure1StudyShards|BenchmarkOriginPhase|BenchmarkRouteBuild|BenchmarkFigure2Epochs|BenchmarkBuildVsClone$$|BenchmarkFleetSpinup|BenchmarkLargeScaleCampaign|BenchmarkAblationDecode/reused|BenchmarkSimulatorForwarding' \
 		-benchtime 1x -benchmem -run '^$$' . ; \
+	  $(GO) test -bench 'BenchmarkScheduleTick' -benchtime 1x -benchmem -run '^$$' ./internal/server ; \
 	  n=$$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1); \
 	  if [ "$$n" -ge 4 ]; then \
 	    GOMAXPROCS=4 $(GO) test -bench 'BenchmarkFigure1StudyShards|BenchmarkOriginPhase|BenchmarkRouteBuild|BenchmarkFleetSpinup' \
@@ -40,8 +41,10 @@ bench:
 # if any allocs/op grew >25% over the checked-in baseline (see
 # cmd/benchguard for why allocation counts gate and timings don't).
 bench-guard:
-	$(GO) test -bench 'BenchmarkAblationDecode|BenchmarkSimulatorForwarding|BenchmarkBuildVsClone$$|BenchmarkFleetSpinup' \
-		-benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchguard -baseline BENCH_parallel.json
+	( $(GO) test -bench 'BenchmarkAblationDecode|BenchmarkSimulatorForwarding|BenchmarkBuildVsClone$$|BenchmarkFleetSpinup' \
+		-benchtime 1x -benchmem -run '^$$' . ; \
+	  $(GO) test -bench 'BenchmarkScheduleTick' -benchtime 1x -benchmem -run '^$$' ./internal/server \
+	) | $(GO) run ./cmd/benchguard -baseline BENCH_parallel.json
 
 # Parallelism scaling-efficiency gates: run the three parallel families
 # at the host's real core count with pprof captures, then enforce
@@ -99,9 +102,13 @@ study:
 	$(GO) run ./cmd/rrstudy
 
 # Run the campaign service daemon (submit jobs with curl; see
-# README "Campaign service" and DESIGN.md §11).
+# README "Campaign service" and DESIGN.md §11/§16). WORKERS sizes the
+# affinity worker pool; TENANT_QUOTA caps per-tenant in-flight jobs
+# (0 = unlimited).
+WORKERS ?= 2
+TENANT_QUOTA ?= 0
 serve:
-	$(GO) run ./cmd/rrstudyd
+	$(GO) run ./cmd/rrstudyd -workers $(WORKERS) -tenant-quota $(TENANT_QUOTA)
 
 # Short fuzzing passes over the packet decoders, the FIB, and the
 # stop-set codec.
@@ -113,9 +120,10 @@ fuzz:
 	$(GO) test ./internal/netsim -fuzz FuzzFIBLookup -fuzztime 30s
 	$(GO) test ./internal/trace -fuzz FuzzStopSetCodec -fuzztime 30s
 
-# Coverage with per-package floors for the simulator core (matches CI).
+# Coverage with per-package floors for the simulator core and the
+# campaign service (matches CI).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/netsim ./internal/probe ./internal/measure ./internal/trace
+	$(GO) test -coverprofile=cover.out ./internal/netsim ./internal/probe ./internal/measure ./internal/trace ./internal/server
 	$(GO) tool cover -func=cover.out | tail -1
 
 examples:

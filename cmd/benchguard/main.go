@@ -50,10 +50,10 @@ import (
 )
 
 // defaultPin covers the hot paths the repo's perf PRs optimized:
-// packet decode reuse, raw forwarding, snapshot cloning, and fleet
-// spin-up. A regression in any of their allocation counts is a
-// structural change, not noise.
-const defaultPin = `^(BenchmarkAblationDecode/reused|BenchmarkSimulatorForwarding|BenchmarkBuildVsClone|BenchmarkFleetSpinup)`
+// packet decode reuse, raw forwarding, snapshot cloning, fleet
+// spin-up, and the scheduler's per-epoch tick. A regression in any of
+// their allocation counts is a structural change, not noise.
+const defaultPin = `^(BenchmarkAblationDecode/reused|BenchmarkSimulatorForwarding|BenchmarkBuildVsClone|BenchmarkFleetSpinup|BenchmarkScheduleTick)`
 
 // defaultScalingPin selects the shard-scaling benchmark family; the
 // capture group is the shard count K.

@@ -85,7 +85,8 @@ func main() {
 		scale      = flag.String("scale", "1.0", "topology size: a numeric factor (1.0 ≈ 1/100 of the paper) or a profile name small|medium|large (large ≈ the paper's 10⁵-prefix hitlist)")
 		seed       = flag.Uint64("seed", 0, "random seed (0 = built-in default)")
 		rate       = flag.Float64("rate", 20, "per-VP probing rate in packets per second")
-		experiment = flag.String("experiment", "all", "experiment to run: all|table1|fig1|fig2|audit|fig3|fig4|fig5|vpdist|atlas|lsrr|traceroute|rr-vs-tr|chaos")
+		experiment = flag.String("experiment", "all", "experiment to run: all|table1|fig1|fig2|audit|fig3|fig4|fig5|vpdist|atlas|lsrr|traceroute|rr-vs-tr|chaos|epochs-live")
+		liveEpochs = flag.Int("live-epochs", 3, "epochs-live: number of consecutive fault epochs to measure")
 		jsonOut    = flag.String("json", "", "also write the combined machine-readable report to this file (all experiments only)")
 		dump       = flag.String("dump", "", "archive the raw per-VP ping-RR results to this file")
 		outdir     = flag.String("outdir", "", "also write each experiment's rendering to its own file in this directory (all experiments only)")
@@ -250,6 +251,8 @@ func main() {
 			chaosSum = &s
 			return err
 		})
+	case "epochs-live":
+		step("epochs-live", func() error { _, err := inet.EpochsLive(w, *liveEpochs); return err })
 	case "vpdist":
 		step("vpdist", func() error {
 			d := inet.VPResponseDistribution()

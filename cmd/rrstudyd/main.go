@@ -9,18 +9,28 @@
 //	rrstudyd [-addr :8080] [-workers 2] [-queue 16] [-cache 4] [-data DIR]
 //	         [-job-deadline 30m] [-max-retries 2] [-retry-backoff 500ms]
 //	         [-journal-fsync] [-stream-timeout 30s]
+//	         [-tenant-quota 0] [-tenant-rate 0] [-tenant-burst 0]
 //
 // Endpoints:
 //
-//	POST   /jobs              submit {"experiment":"table1","scale":0.25,...}
-//	GET    /jobs/{id}         status + progress
-//	DELETE /jobs/{id}         cancel (honored at the next checkpoint)
-//	GET    /jobs/{id}/stream  live JSONL result stream
-//	GET    /jobs/{id}/render  the finished table
-//	GET    /metrics           Prometheus text format
-//	GET    /healthz           liveness
-//	GET    /readyz            readiness (503 while draining)
+//	POST   /jobs                 submit {"experiment":"table1","scale":0.25,...}
+//	GET    /jobs/{id}            status + progress
+//	DELETE /jobs/{id}            cancel (honored at the next checkpoint)
+//	GET    /jobs/{id}/stream     live JSONL result stream
+//	GET    /jobs/{id}/render     the finished table
+//	POST   /schedules            recurring campaign {"job":{...},"epochs":3}
+//	GET    /schedules            list schedules
+//	GET    /schedules/{id}       schedule status + cursor
+//	DELETE /schedules/{id}       cancel the schedule and its in-flight epoch
+//	GET    /schedules/{id}/diff  epoch-over-epoch reachability churn table
+//	GET    /metrics              Prometheus text format
+//	GET    /healthz              liveness
+//	GET    /readyz               readiness (503 while draining)
 //
+// Submissions name a tenant via the X-Tenant header ("default" when
+// absent). A tenant past -tenant-quota in-flight jobs, or out of
+// -tenant-rate/-tenant-burst tokens, is refused with 429 and a
+// Retry-After — per-tenant QoS, distinct from the shared-queue 503.
 // Submissions beyond the queue capacity are refused with 503 (and a
 // Retry-After), so a flood degrades into backpressure rather than
 // memory growth. Failed attempts are classified (DESIGN.md §13):
@@ -69,6 +79,13 @@ func main() {
 			"fsync the journal after every checkpoint (crash-safe past machine crashes, at an I/O cost)")
 		streamTO = flag.Duration("stream-timeout", 30*time.Second,
 			"per-write deadline for /stream clients; stalled readers are dropped (0 = never)")
+
+		tenantQuota = flag.Int("tenant-quota", 0,
+			"max in-flight jobs per tenant before 429 (0 = unlimited)")
+		tenantRate = flag.Float64("tenant-rate", 0,
+			"token-bucket refill per tenant, submissions/second (0 = no bucket)")
+		tenantBurst = flag.Float64("tenant-burst", 0,
+			"token-bucket depth per tenant (0 = the rate, min 1)")
 	)
 	flag.Parse()
 
@@ -92,6 +109,9 @@ func main() {
 		RetryBackoff:       *backoff,
 		JournalFsync:       *fsync,
 		StreamWriteTimeout: streamTimeout,
+		TenantQuota:        *tenantQuota,
+		TenantRate:         *tenantRate,
+		TenantBurst:        *tenantBurst,
 	})
 	if err != nil {
 		log.Fatal(err)

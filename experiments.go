@@ -466,6 +466,46 @@ func (in *Internet) ChaosReport(w io.Writer, retries int, scenarios ...ChaosScen
 	return s, nil
 }
 
+// EpochsLiveSummary is the machine-readable core of the epochs-live
+// recurring-campaign experiment.
+type EpochsLiveSummary struct {
+	// Epochs is the number of consecutive fault epochs measured;
+	// Baseline is epoch 0's RR-reachable count.
+	Epochs, Baseline int
+	// Gained and Lost total the reachability deltas across all
+	// consecutive-epoch diffs — the churn the time series observed.
+	Gained, Lost int
+}
+
+// EpochsLive measures the same Internet across consecutive fault
+// epochs under long-horizon route churn — the single-process twin of a
+// recurring rrstudyd Schedule. The world is built once; each epoch
+// probes a fresh clone with that epoch's derived shuffle seed and churn
+// clock, and the per-epoch RR-reachable sets diff into a
+// gained/lost/stable time series rendered to w. Without WithFaults a
+// default churn-only fault plan is installed. epochs <= 0 runs 3.
+func (in *Internet) EpochsLive(w io.Writer, epochs int) (EpochsLiveSummary, error) {
+	el, err := study.RunEpochsLive(in.st.Topo.Cfg, study.Options{
+		Rate: in.opts.rate, Timeout: in.opts.timeout, Shards: in.opts.shards,
+		Retries: in.opts.retries, Adaptive: in.opts.retries > 0,
+	}, epochs)
+	if err != nil {
+		return EpochsLiveSummary{}, err
+	}
+	if w != nil {
+		el.Render(w)
+	}
+	s := EpochsLiveSummary{Epochs: el.Epochs}
+	if recs := el.Index.Epochs(); len(recs) > 0 {
+		s.Baseline = len(recs[0].Reachable)
+	}
+	for _, d := range el.Index.Diffs() {
+		s.Gained += len(d.Gained)
+		s.Lost += len(d.Lost)
+	}
+	return s, nil
+}
+
 // InstalledFaults describes the fault plan WithFaults installed on
 // this Internet ("links=… lossy=… …"); all zeros without WithFaults.
 func (in *Internet) InstalledFaults() string { return in.st.Topo.Faults.String() }

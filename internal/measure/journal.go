@@ -41,6 +41,10 @@ type JournalMeta struct {
 	ShuffleSeed uint64        `json:"shuffle_seed"`
 	Retries     int           `json:"retries"`
 	Adaptive    bool          `json:"adaptive"`
+	// FaultEpoch binds the long-horizon churn clock: an epoch-N journal
+	// must never be resumed by an epoch-M campaign, whose route weather
+	// (and therefore batch contents) can differ.
+	FaultEpoch int `json:"fault_epoch,omitempty"`
 }
 
 // journalLine is one JSONL record of a campaign journal. The first

@@ -89,6 +89,26 @@ type routerFaults struct {
 	withdraw faultWindow
 	prefix   netip.Prefix
 	wFlips   int // withdraw.flips at the last route lookup
+
+	// Long-horizon churn: each fault epoch (Network.SetFaultEpoch, the
+	// coarse virtual clock of a recurring campaign), the churned prefix
+	// is independently withdrawn with probability churnProb. The draw is
+	// keyed by (churnSeed, epoch) alone — no sequential stream — so a
+	// router's churn fate in epoch e is the same on every shard replica
+	// and across daemon restarts.
+	churnSeed   uint64
+	churnProb   float64
+	churnPrefix netip.Prefix
+}
+
+// churned reports whether the router's churn prefix is withdrawn in the
+// given fault epoch — a pure function of (seed, epoch).
+func (f *routerFaults) churned(epoch int) bool {
+	if f.churnProb <= 0 || !f.churnPrefix.IsValid() {
+		return false
+	}
+	h := chaosMix(f.churnSeed, uint64(epoch)*0x9e3779b97f4a7c15)
+	return float64(h>>11)/float64(1<<53) < f.churnProb
 }
 
 // Draw-site discriminators so one packet's loss, jitter, and
@@ -209,6 +229,18 @@ type FaultConfig struct {
 	WithdrawFrac   float64
 	WithdrawPeriod time.Duration // default 60s
 	WithdrawFor    time.Duration // default 8s
+
+	// Long-horizon route churn across fault epochs (recurring-campaign
+	// cadence, see Network.SetFaultEpoch): ChurnFrac of registered
+	// (router, prefix) candidates join the churn pool (<=0 means all,
+	// when ChurnProb > 0), and each pooled prefix is independently
+	// withdrawn for a whole epoch with probability ChurnProb. Unlike the
+	// transient withdrawals above, churn is constant within an epoch — a
+	// pure function of (seed, epoch), not of the packet-level clock — so
+	// one epoch's render is byte-reproducible at any shard count while
+	// consecutive epochs see routes appear and disappear.
+	ChurnFrac float64
+	ChurnProb float64
 }
 
 // randDur draws uniformly from [0, max).
@@ -238,13 +270,14 @@ type FaultSummary struct {
 	Links, Routers                                 int // registered candidates
 	LossyLinks, JitterLinks, DupLinks, FlapLinks   int
 	OfflineRouters, SuppressRouters, WithdrawnPfxs int
+	ChurnedPfxs                                    int // prefixes in the epoch-churn pool
 }
 
 // String renders the summary as a single log-friendly line.
 func (s FaultSummary) String() string {
-	return fmt.Sprintf("links=%d lossy=%d jitter=%d dup=%d flapping=%d routers=%d outages=%d suppressed=%d withdrawals=%d",
+	return fmt.Sprintf("links=%d lossy=%d jitter=%d dup=%d flapping=%d routers=%d outages=%d suppressed=%d withdrawals=%d churned=%d",
 		s.Links, s.LossyLinks, s.JitterLinks, s.DupLinks, s.FlapLinks,
-		s.Routers, s.OfflineRouters, s.SuppressRouters, s.WithdrawnPfxs)
+		s.Routers, s.OfflineRouters, s.SuppressRouters, s.WithdrawnPfxs, s.ChurnedPfxs)
 }
 
 // FaultPlan compiles a FaultConfig against registered fault targets.
@@ -381,6 +414,26 @@ func (p *FaultPlan) Install() FaultSummary {
 		}
 		rf.prefix = p.pfxs[i]
 		sum.WithdrawnPfxs++
+	}
+
+	// Churn pool: drawn after (and independently of) the transient
+	// withdrawals, from the same registration list. A zero ChurnProb
+	// consumes no draws, so plans without churn stay byte-identical to
+	// plans built before churn existed.
+	if cfg.ChurnProb > 0 {
+		for i, r := range p.pfxOwner {
+			if rng.Float64() >= defFrac(cfg.ChurnFrac) {
+				continue
+			}
+			rf := get(r)
+			if rf.churnPrefix.IsValid() {
+				continue // one churned prefix per router, like withdrawals
+			}
+			rf.churnSeed = rng.Uint64()
+			rf.churnProb = cfg.ChurnProb
+			rf.churnPrefix = p.pfxs[i]
+			sum.ChurnedPfxs++
+		}
 	}
 
 	for r, rf := range byRouter {

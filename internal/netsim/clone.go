@@ -28,10 +28,11 @@ func (n *Network) Freeze() {
 			v.fibShared = true
 			v.localShared = true
 			// The memoized routes become the shared frozen base — except
-			// on routers with transient withdrawals, whose lookups are
-			// clock-dependent: a mid-window nil memo must never leak into
-			// a replica starting at clock zero.
-			if f := v.faults; f == nil || f.withdraw.duty == 0 {
+			// on routers with transient withdrawals or epoch churn, whose
+			// lookups depend on the clock (or the fault epoch): a stale
+			// memo must never leak into a replica starting at clock zero
+			// or running under a different epoch.
+			if f := v.faults; f == nil || (f.withdraw.duty == 0 && !f.churnPrefix.IsValid()) {
 				if len(v.routeCache) > 0 {
 					v.routeBase = v.routeCache
 					v.routeCache = nil
@@ -57,12 +58,16 @@ func (n *Network) Freeze() {
 func (n *Network) Clone() *Network {
 	n.Freeze()
 	c := &Network{
-		engine:   NewEngine(),
-		nodes:    make([]Node, 0, len(n.nodes)),
-		nameIdx:  n.nameIdx,
-		ifaces:   make([]*Iface, len(n.ifaces)),
-		lossRNG:  lossSeed,
-		counters: newCounters(),
+		engine:  NewEngine(),
+		nodes:   make([]Node, 0, len(n.nodes)),
+		nameIdx: n.nameIdx,
+		ifaces:  make([]*Iface, len(n.ifaces)),
+		lossRNG: lossSeed,
+		// The fault epoch is overlay state, not plane state: replicas
+		// start in the source's epoch so all shards of one campaign see
+		// the same churn weather.
+		faultEpoch: n.faultEpoch,
+		counters:   newCounters(),
 	}
 	// Replica structs come from per-kind blocks (one allocation each, not
 	// one per node/interface): clone cost is GC-bound, and tens of

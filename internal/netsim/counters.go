@@ -162,4 +162,9 @@ var (
 	// given engine notices depends on its own traffic, so the counter
 	// is engine-local (excluded from merged cross-shard totals).
 	cChaosRouteFlip = RegisterLocalCounter("chaos.route.flip")
+
+	// Epoch-churn blackholes are counted per lookup miss; like route
+	// flips, the number of lookups that notice a churned prefix is a
+	// function of the engine's own traffic, so the counter is local.
+	cChaosChurn = RegisterLocalCounter("chaos.route.churn")
 )

@@ -108,7 +108,13 @@ type Network struct {
 	frozen   bool           // immutable route plane; see Freeze
 	counters []uint64       // indexed by interned counter ID
 	lossRNG  uint64         // xorshift state for deterministic loss draws
-	hook     func(at time.Duration, counter string)
+	// faultEpoch is the coarse virtual clock of a recurring campaign:
+	// epoch-churned prefixes (FaultConfig.ChurnProb) are withdrawn or
+	// present as a pure function of this value. It is overlay state —
+	// clones inherit it from their snapshot source, and it never enters
+	// the frozen route plane or the topology digest.
+	faultEpoch int
+	hook       func(at time.Duration, counter string)
 	bufs     [][]byte // free list of serialization buffers
 	bufSlab  []byte   // arena the free list's buffers are carved from
 
@@ -192,6 +198,28 @@ func (n *Network) lossDraw() float64 {
 
 // Engine returns the network's event engine.
 func (n *Network) Engine() *Engine { return n.engine }
+
+// FaultEpoch returns the current fault epoch (see SetFaultEpoch).
+func (n *Network) FaultEpoch() int { return n.faultEpoch }
+
+// SetFaultEpoch advances the long-horizon churn clock: epoch-churned
+// prefixes are withdrawn for the whole of epoch e iff their per-epoch
+// draw fires (routerFaults.churned). Route memos of churn-afflicted
+// routers are invalidated so lookups cached under the previous epoch
+// never leak across the boundary. Campaigns set the epoch once, before
+// any traffic; within an epoch churn is constant, which is what keeps
+// renders byte-identical across shard counts and restarts.
+func (n *Network) SetFaultEpoch(e int) {
+	if e == n.faultEpoch {
+		return
+	}
+	n.faultEpoch = e
+	for _, node := range n.nodes {
+		if r, ok := node.(*Router); ok && r.faults != nil && r.faults.churnPrefix.IsValid() {
+			r.invalidateRoutes()
+		}
+	}
+}
 
 // Now returns the current virtual time.
 func (n *Network) Now() time.Duration { return n.engine.Now() }

@@ -225,9 +225,17 @@ func (r *Router) lookupRoute(dst netip.Addr) *Iface {
 
 // lookupRouteSlow is the uncached resolution path.
 func (r *Router) lookupRouteSlow(dst netip.Addr) *Iface {
-	if f := r.faults; f != nil && f.prefix.IsValid() &&
-		f.prefix.Contains(dst) && f.withdraw.active(r.net.Now()) {
-		return nil
+	if f := r.faults; f != nil {
+		if f.prefix.IsValid() && f.prefix.Contains(dst) && f.withdraw.active(r.net.Now()) {
+			return nil
+		}
+		// Epoch churn: the churned prefix is blackholed for the whole of
+		// any epoch whose (seed, epoch) draw fires. Constant within an
+		// epoch, so the memoized result stays valid until SetFaultEpoch.
+		if f.churnPrefix.IsValid() && f.churnPrefix.Contains(dst) && f.churned(r.net.faultEpoch) {
+			r.count(cChaosChurn)
+			return nil
+		}
 	}
 	if r.routeFn != nil {
 		if via := r.routeFn(dst); via != nil {

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Wall-clock seam. Latency observations (histograms, build timings)
+// read the wall clock through Now so tests — the service chaos harness
+// in particular — can pin it and prove that no wall-clock value leaks
+// into deterministic output: with the clock frozen, every duration
+// observed through this seam is exactly zero, while journals and
+// renders must come out byte-identical to an unpinned run.
+//
+// This seam is for observability only. Simulation time is the engine's
+// virtual clock; nothing behind Now may influence campaign results.
+
+// nowFn holds the active clock; nil means time.Now.
+var nowFn atomic.Pointer[func() time.Time]
+
+// Now returns the current observability wall-clock reading.
+func Now() time.Time {
+	if fn := nowFn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return time.Now()
+}
+
+// Since returns the elapsed observability wall-clock time since t.
+func Since(t time.Time) time.Duration {
+	return Now().Sub(t)
+}
+
+// SetNow replaces the observability clock; nil restores time.Now.
+// Safe for concurrent use with Now (tests pin the clock while the
+// server's workers observe latencies).
+func SetNow(fn func() time.Time) {
+	if fn == nil {
+		nowFn.Store(nil)
+		return
+	}
+	nowFn.Store(&fn)
+}

@@ -1,0 +1,144 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// EpochIndex is the time-series result store of a recurring campaign:
+// one record per completed epoch, holding the RR-reachable destination
+// set that epoch observed. Consecutive records diff into the
+// gained/lost/stable churn view the epochs-live experiment and the
+// service's GET /schedules/{id}/diff render. Addresses are stored
+// sorted, so the index's JSON form — and every render derived from it —
+// is a pure function of the epoch results, independent of arrival
+// order.
+type EpochIndex struct {
+	mu     sync.Mutex
+	epochs []EpochRecord
+}
+
+// EpochRecord is one epoch's reachable-set snapshot.
+type EpochRecord struct {
+	Epoch     int          `json:"epoch"`
+	Reachable []netip.Addr `json:"reachable"`
+}
+
+// EpochDiff is the reachability delta between two consecutive epochs.
+type EpochDiff struct {
+	From, To int
+	Gained   []netip.Addr // reachable in To, not in From
+	Lost     []netip.Addr // reachable in From, not in To
+	Stable   int          // reachable in both
+}
+
+// Add records an epoch's reachable set, replacing any existing record
+// for the same epoch (a resumed epoch re-reports the identical set).
+// The input is copied and sorted; records stay ordered by epoch.
+func (x *EpochIndex) Add(epoch int, reachable []netip.Addr) {
+	set := append([]netip.Addr(nil), reachable...)
+	sort.Slice(set, func(i, j int) bool { return set[i].Less(set[j]) })
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for i := range x.epochs {
+		if x.epochs[i].Epoch == epoch {
+			x.epochs[i].Reachable = set
+			return
+		}
+	}
+	x.epochs = append(x.epochs, EpochRecord{Epoch: epoch, Reachable: set})
+	sort.Slice(x.epochs, func(i, j int) bool { return x.epochs[i].Epoch < x.epochs[j].Epoch })
+}
+
+// Epochs returns the recorded epochs in order (shared slices; treat as
+// read-only).
+func (x *EpochIndex) Epochs() []EpochRecord {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]EpochRecord(nil), x.epochs...)
+}
+
+// Len returns the number of recorded epochs.
+func (x *EpochIndex) Len() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.epochs)
+}
+
+// Diffs returns the deltas between each pair of consecutive recorded
+// epochs.
+func (x *EpochIndex) Diffs() []EpochDiff {
+	recs := x.Epochs()
+	out := make([]EpochDiff, 0, max(0, len(recs)-1))
+	for i := 1; i < len(recs); i++ {
+		out = append(out, diffRecords(recs[i-1], recs[i]))
+	}
+	return out
+}
+
+// diffRecords computes the delta between two sorted reachable sets.
+func diffRecords(a, b EpochRecord) EpochDiff {
+	d := EpochDiff{From: a.Epoch, To: b.Epoch}
+	i, j := 0, 0
+	for i < len(a.Reachable) && j < len(b.Reachable) {
+		switch {
+		case a.Reachable[i] == b.Reachable[j]:
+			d.Stable++
+			i++
+			j++
+		case a.Reachable[i].Less(b.Reachable[j]):
+			d.Lost = append(d.Lost, a.Reachable[i])
+			i++
+		default:
+			d.Gained = append(d.Gained, b.Reachable[j])
+			j++
+		}
+	}
+	d.Lost = append(d.Lost, a.Reachable[i:]...)
+	d.Gained = append(d.Gained, b.Reachable[j:]...)
+	return d
+}
+
+// RenderTable writes the per-epoch reachability series with the churn
+// deltas between consecutive epochs — the epochs-live experiment's
+// render and the body of GET /schedules/{id}/diff.
+func (x *EpochIndex) RenderTable(w io.Writer) {
+	recs := x.Epochs()
+	fmt.Fprintf(w, "%-8s %-10s %-8s %-8s %-8s\n", "epoch", "reachable", "gained", "lost", "stable")
+	for i, r := range recs {
+		if i == 0 {
+			fmt.Fprintf(w, "%-8d %-10d %-8s %-8s %-8s\n", r.Epoch, len(r.Reachable), "-", "-", "-")
+			continue
+		}
+		d := diffRecords(recs[i-1], r)
+		fmt.Fprintf(w, "%-8d %-10d %-8d %-8d %-8d\n", r.Epoch, len(r.Reachable), len(d.Gained), len(d.Lost), d.Stable)
+	}
+}
+
+// MarshalJSON serializes the index (record list only) for persistence;
+// UnmarshalJSON restores it. Both lock, so a schedule checkpointing
+// while an epoch lands stays consistent.
+func (x *EpochIndex) MarshalJSON() ([]byte, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.epochs == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(x.epochs)
+}
+
+// UnmarshalJSON restores a persisted index.
+func (x *EpochIndex) UnmarshalJSON(data []byte) error {
+	var recs []EpochRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return err
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.epochs = recs
+	return nil
+}

@@ -8,8 +8,8 @@ package server
 
 import (
 	"sync"
-	"time"
 
+	"recordroute/internal/obs"
 	"recordroute/internal/topology"
 )
 
@@ -76,13 +76,17 @@ func (c *planeCache) Get(cfg topology.Config) (topo *topology.Topology, hit bool
 	c.mu.Unlock()
 
 	if !ok {
-		start := time.Now()
+		// The wall clock is read through the obs seam, never directly:
+		// build latency feeds only the /metrics histogram, and chaos
+		// tests pin obs.SetNow to prove no wall-clock value can reach
+		// journaled or rendered output (DESIGN.md §6).
+		start := obs.Now()
 		built, berr := topology.Build(cfg)
 		if berr == nil {
 			e.snap = topology.SnapshotOf(built)
 		}
 		if c.onBuild != nil {
-			c.onBuild(time.Since(start).Seconds())
+			c.onBuild(obs.Since(start).Seconds())
 		}
 		e.err = berr
 		close(e.ready)

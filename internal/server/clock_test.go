@@ -1,0 +1,72 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"recordroute/internal/obs"
+)
+
+// TestPinnedClockProvesNoWallClockInResults is the satellite-3
+// regression test for the cache.go wall-clock read: build latency must
+// flow through the obs clock seam, never time.Now directly. With the
+// clock frozen, every duration the service observes is exactly zero —
+// the plane-build histogram's sum stays 0 while its count advances —
+// and the campaign's render is still byte-identical to the golden
+// produced under a live clock, proving no wall-clock value can reach
+// deterministic output.
+func TestPinnedClockProvesNoWallClockInResults(t *testing.T) {
+	pinned := time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)
+	obs.SetNow(func() time.Time { return pinned })
+	defer obs.SetNow(nil)
+
+	s := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts, smokeSpec())
+	if st := waitTerminal(t, ts, id); st.State != StateDone {
+		t.Fatalf("job under pinned clock settled as %+v", st)
+	}
+
+	// The miss was observed (count 1) at exactly zero seconds (sum 0):
+	// the only clock cache.go read was the pinned one.
+	if got := metricValue(t, ts, "rrstudyd_plane_build_seconds_sum"); got != "0" {
+		t.Errorf("plane_build_seconds_sum = %q under a pinned clock, want 0", got)
+	}
+	if got := metricValue(t, ts, "rrstudyd_plane_build_seconds_count"); got != "1" {
+		t.Errorf("plane_build_seconds_count = %q, want 1", got)
+	}
+
+	// Results are clock-independent: the render equals the study golden.
+	_, render := get(t, ts, "/jobs/"+id+"/render")
+	golden, err := os.ReadFile(filepath.Join("..", "study", "testdata", "golden", "table1_responsiveness.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(render, golden) {
+		t.Errorf("pinned-clock render differs from golden:\n--- pinned ---\n%s--- golden ---\n%s", render, golden)
+	}
+}
+
+// TestObsClockSeam covers the seam itself: SetNow replaces what Now
+// and Since read, and SetNow(nil) restores the live clock.
+func TestObsClockSeam(t *testing.T) {
+	pinned := time.Date(2000, 1, 2, 3, 4, 5, 0, time.UTC)
+	obs.SetNow(func() time.Time { return pinned })
+	defer obs.SetNow(nil)
+	if got := obs.Now(); !got.Equal(pinned) {
+		t.Errorf("Now() = %v under pinned clock, want %v", got, pinned)
+	}
+	if d := obs.Since(pinned.Add(-3 * time.Second)); d != 3*time.Second {
+		t.Errorf("Since() = %v, want 3s", d)
+	}
+	obs.SetNow(nil)
+	if d := time.Since(obs.Now()); d < 0 || d > time.Minute {
+		t.Errorf("live clock not restored: Now() is %v off", d)
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"recordroute/internal/netsim"
+	"recordroute/internal/topology"
+)
+
+// TestDigestCoversEveryConfigField is the satellite-2 property test
+// for plane-cache key completeness: the frozen-plane cache hands a
+// clone of a cached topology to any job whose Config digests equal, so
+// a generation input missing from the digest would silently serve one
+// tenant another tenant's world. The property: mutate EXACTLY ONE
+// field of a fully-populated Config — recursively, down through the
+// fault plan — and the digest must change. Every mutation restores
+// itself before the next, so each digest comparison isolates one field.
+func TestDigestCoversEveryConfigField(t *testing.T) {
+	cfg := topology.DefaultConfig(topology.Epoch2016)
+	// Populate the optional pointer so its interior fields are reachable
+	// by the walk.
+	cfg.Faults = &netsim.FaultConfig{Seed: 7, ChurnFrac: 0.5, ChurnProb: 0.25}
+
+	orig := cfg.Digest()
+	mutated := 0
+	check := func(path string) {
+		mutated++
+		if got := cfg.Digest(); got == orig {
+			t.Errorf("mutating %s did not change the digest — a plane-cache collision between distinct worlds", path)
+		}
+	}
+	walkAndMutate(t, reflect.ValueOf(&cfg).Elem(), "Config", check)
+
+	if got := cfg.Digest(); got != orig {
+		t.Fatalf("walk did not restore the config (digest %s != %s): field checks were not isolated", got, orig)
+	}
+	if mutated < 30 {
+		t.Fatalf("walk mutated only %d fields — the reflection sweep is broken", mutated)
+	}
+}
+
+// walkAndMutate visits every settable leaf of v; each leaf is mutated
+// to a distinct value, check(path) is invoked, and the old value is
+// put back.
+func walkAndMutate(t *testing.T, v reflect.Value, path string, check func(path string)) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			name := v.Type().Field(i).Name
+			if !f.CanSet() {
+				t.Fatalf("%s.%s is unexported: it cannot feed the JSON digest, so it must not influence generation", path, name)
+			}
+			walkAndMutate(t, f, path+"."+name, check)
+		}
+	case reflect.Pointer:
+		if v.IsNil() {
+			t.Fatalf("%s is nil in the base config; populate it so its fields are covered", path)
+		}
+		walkAndMutate(t, v.Elem(), path, check)
+	case reflect.Int, reflect.Int64:
+		old := v.Int()
+		v.SetInt(old + 1)
+		check(path)
+		v.SetInt(old)
+	case reflect.Uint, reflect.Uint64:
+		old := v.Uint()
+		v.SetUint(old + 1)
+		check(path)
+		v.SetUint(old)
+	case reflect.Float64:
+		old := v.Float()
+		v.SetFloat(old + 0.123)
+		check(path)
+		v.SetFloat(old)
+	case reflect.Bool:
+		old := v.Bool()
+		v.SetBool(!old)
+		check(path)
+		v.SetBool(old)
+	case reflect.String:
+		old := v.String()
+		v.SetString(old + "x")
+		check(path)
+		v.SetString(old)
+	case reflect.Slice:
+		// Both length and element values must feed the digest.
+		old := v.Interface()
+		v.Set(reflect.Append(v, reflect.Zero(v.Type().Elem())))
+		check(path + "[+1]")
+		v.Set(reflect.ValueOf(old))
+		if v.Len() > 0 {
+			walkAndMutate(t, v.Index(0), fmt.Sprintf("%s[0]", path), check)
+		}
+	case reflect.Map:
+		if v.IsNil() {
+			t.Fatalf("%s is a nil map in the base config; populate it so its entries are covered", path)
+		}
+		// A new key and a mutated value must both change the digest.
+		nk := reflect.New(v.Type().Key()).Elem()
+		nk.SetInt(97) // an ASType no default config uses
+		v.SetMapIndex(nk, reflect.New(v.Type().Elem()).Elem())
+		check(path + "[+key]")
+		v.SetMapIndex(nk, reflect.Value{})
+		for _, k := range v.MapKeys() {
+			old := v.MapIndex(k).Float()
+			nv := reflect.New(v.Type().Elem()).Elem()
+			nv.SetFloat(old + 0.123)
+			v.SetMapIndex(k, nv)
+			check(fmt.Sprintf("%s[%v]", path, k))
+			nv.SetFloat(old)
+			v.SetMapIndex(k, nv)
+			break
+		}
+	default:
+		t.Fatalf("%s has unhandled kind %s — extend the walk", path, v.Kind())
+	}
+}
+
+// TestCacheKeyedByFaultPlan pins the concrete regression behind the
+// property: two jobs differing only in their fault plan (one nil, one
+// churning) must resolve to different planes — two cache misses, two
+// builds — never a shared world.
+func TestCacheKeyedByFaultPlan(t *testing.T) {
+	cache := newPlaneCache(4)
+	plain := topology.DefaultConfig(topology.Epoch2016).Scale(0.1)
+	faulted := plain
+	faulted.Faults = &netsim.FaultConfig{Seed: 1, ChurnFrac: 0.5, ChurnProb: 0.5}
+
+	if _, hit, err := cache.Get(plain); err != nil || hit {
+		t.Fatalf("first plain get: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := cache.Get(faulted); err != nil || hit {
+		t.Fatalf("faulted config hit the plain plane: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := cache.Get(plain); err != nil || !hit {
+		t.Fatalf("second plain get should hit: hit=%v err=%v", hit, err)
+	}
+	if hits, misses, size := cache.Stats(); hits != 1 || misses != 2 || size != 2 {
+		t.Errorf("cache stats %d/%d/%d, want hits=1 misses=2 size=2", hits, misses, size)
+	}
+}

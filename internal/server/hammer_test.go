@@ -1,0 +1,175 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRetryCancelEvictHammer is the satellite-1 regression test for
+// the finalize/requeue races: under -race, a pool where every attempt
+// panics (forcing the full retry ladder), cancels arrive at arbitrary
+// points in the backoff cycle, and RetainJobs is tiny (so eviction
+// constantly walks the job table) must settle every job into exactly
+// one terminal state with the accounting intact. The bug class this
+// pins down: requeue pushing a job into the dispatcher BEFORE setting
+// its state, letting the state write stomp a concurrent finalize —
+// a finalized job stuck "queued" is never evicted and leaks its
+// tenant's quota slot forever.
+func TestRetryCancelEvictHammer(t *testing.T) {
+	const jobs = 24
+	s := newTestServer(t, Config{Workers: 4, QueueCap: jobs,
+		RetainJobs: 2, MaxRetries: 2, RetryBackoff: time.Millisecond,
+		TenantQuota: jobs})
+	// Every attempt dies instantly: each job runs the whole ladder of
+	// attempt → panic → backoff → requeue, overlapping with everyone
+	// else's, without the cost of real campaigns.
+	s.startHook = func(job *Job) { panic("hammer: worker killed at job start") }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ids := make([]string, jobs)
+	for i := range ids {
+		job, err := s.SubmitAs("hammer", smokeSpec())
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = job.ID
+	}
+
+	// Cancelers race the retry timers: half the jobs get DELETEs fired
+	// at staggered moments that land while queued, running, retrying,
+	// or already terminal; status pollers and metric scrapes churn the
+	// read paths at the same time.
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		if i%2 == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 500 * time.Microsecond)
+			s.Cancel(id)
+		}(i, id)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				for _, id := range ids {
+					if job := s.Job(id); job != nil {
+						job.status()
+					}
+				}
+				get(t, ts, "/metrics")
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every job settles: no lost wakeups, no job resurrected past its
+	// finalize, no eviction of a live job.
+	deadline := time.Now().Add(time.Minute)
+	for _, id := range ids {
+		job := s.Job(id)
+		if job == nil {
+			continue // evicted — necessarily terminal
+		}
+		for {
+			job.mu.Lock()
+			st, fin := job.state, job.finalized
+			job.mu.Unlock()
+			if terminalState(st) {
+				if !fin {
+					t.Errorf("%s terminal (%s) but not finalized", id, st)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s stuck in %q", id, st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The tenant's quota slots all came back: a leaked slot here is the
+	// stomped-finalize bug wearing its QoS costume.
+	waitFor(t, time.Minute, func() (bool, string) {
+		s.mu.Lock()
+		active := s.tenants["hammer"].active
+		s.mu.Unlock()
+		return active == 0, fmt.Sprintf("tenant active = %d, want 0", active)
+	})
+	// And the dispatcher drained completely.
+	waitFor(t, time.Minute, func() (bool, string) {
+		d := s.QueueDepth()
+		return d == 0, fmt.Sprintf("queue depth = %d, want 0", d)
+	})
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() (bool, string)) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		ok, msg := cond()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRequeueCannotResurrectFinalizedJob drives the satellite-1 race
+// deterministically: a job is finalized (canceled) while its retry
+// timer is in flight; whatever order the timer callback and the cancel
+// land in, the job must end terminal exactly once and must never
+// re-enter the queue after finalize.
+func TestRequeueCannotResurrectFinalizedJob(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		s := newTestServer(t, Config{Workers: 1, QueueCap: 4,
+			MaxRetries: 3, RetryBackoff: time.Microsecond})
+		s.startHook = func(*Job) { panic("die") }
+		job, err := s.Submit(smokeSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Let the retry cycle spin, then cancel at a random phase point.
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		s.Cancel(job.ID)
+
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			job.mu.Lock()
+			st := job.state
+			job.mu.Unlock()
+			if terminalState(st) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: job stuck in %q", round, st)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		// Settled means settled: the state may never change again, even
+		// with retry timers potentially still firing.
+		job.mu.Lock()
+		settled := job.state
+		job.mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		job.mu.Lock()
+		now, fin := job.state, job.finalized
+		job.mu.Unlock()
+		if now != settled || !fin {
+			t.Fatalf("round %d: job resurrected after finalize: %q -> %q (finalized=%v)", round, settled, now, fin)
+		}
+		s.Drain()
+	}
+}

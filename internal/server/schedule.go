@@ -1,0 +1,374 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"recordroute/internal/results"
+	"recordroute/internal/study"
+)
+
+// Recurring campaigns. A Schedule runs one JobSpec for N virtual
+// epochs, each epoch a fully deterministic derivation of the base
+// spec: epoch e probes with ShuffleSeed = study.EpochSeed(base, e),
+// FaultEpoch = e (advancing the long-horizon churn clock), and its own
+// journal path sched-<id>-e<e>.jsonl under DataDir. The topology
+// config — and therefore the plane digest — is identical across
+// epochs, so every epoch of a schedule hits the frozen-plane cache and
+// lands on the same affinity worker. Completed epochs feed the
+// schedule's results.EpochIndex, whose consecutive diffs are the
+// GET /schedules/{id}/diff churn view.
+//
+// Schedules are crash-safe the same way jobs are: the schedule record
+// (spec, cursor, index) checkpoints to sched-<id>.json after every
+// state change, epoch journals carry batch progress, and a restarted
+// server resumes the interrupted epoch with Resume semantics — the
+// resumed series is byte-identical to an uninterrupted one.
+
+// Schedule states.
+const (
+	SchedActive   = "active"
+	SchedDone     = "done"
+	SchedFailed   = "failed"
+	SchedCanceled = "canceled"
+)
+
+// ScheduleSpec is the POST /schedules body: the base job and how many
+// epochs to run it for.
+type ScheduleSpec struct {
+	// Job is the base campaign spec; per-epoch seed, fault epoch, and
+	// journal are derived from it. Journal and Resume must be unset —
+	// the schedule owns journal placement.
+	Job JobSpec `json:"job"`
+	// Epochs is the number of virtual epochs to run (>= 1).
+	Epochs int `json:"epochs"`
+}
+
+// Schedule is one recurring campaign. All fields are guarded by
+// Server.mu; Index has its own lock and is safe to render concurrently.
+type Schedule struct {
+	ID     string
+	Tenant string
+	Spec   ScheduleSpec
+
+	state      string
+	nextEpoch  int    // first epoch not yet completed
+	currentJob string // in-flight epoch job, "" between epochs
+	errMsg     string
+
+	Index *results.EpochIndex
+}
+
+// schedRecord is the persisted form of a Schedule.
+type schedRecord struct {
+	ID        string              `json:"id"`
+	Tenant    string              `json:"tenant"`
+	Spec      ScheduleSpec        `json:"spec"`
+	State     string              `json:"state"`
+	NextEpoch int                 `json:"next_epoch"`
+	Error     string              `json:"error,omitempty"`
+	Index     *results.EpochIndex `json:"index"`
+}
+
+// ScheduleStatus is the schedule-status JSON.
+type ScheduleStatus struct {
+	ID         string  `json:"id"`
+	Tenant     string  `json:"tenant"`
+	State      string  `json:"state"`
+	Epochs     int     `json:"epochs"`
+	NextEpoch  int     `json:"next_epoch"`
+	CurrentJob string  `json:"current_job,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Progress   float64 `json:"progress"`
+}
+
+func (s *Server) scheduleStatus(sc *Schedule) ScheduleStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ScheduleStatus{ID: sc.ID, Tenant: sc.Tenant, State: sc.state,
+		Epochs: sc.Spec.Epochs, NextEpoch: sc.nextEpoch,
+		CurrentJob: sc.currentJob, Error: sc.errMsg}
+	if sc.Spec.Epochs > 0 {
+		st.Progress = float64(sc.nextEpoch) / float64(sc.Spec.Epochs)
+	}
+	return st
+}
+
+// CreateSchedule registers a recurring campaign for a tenant and fires
+// its first epoch. The tenant pays one admission token at creation;
+// the per-epoch jobs only hold quota slots (metered=false), so a
+// schedule cannot starve its own epochs out of the token bucket it
+// already paid.
+func (s *Server) CreateSchedule(tenant string, spec ScheduleSpec) (*Schedule, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	if spec.Epochs < 1 {
+		return nil, fmt.Errorf("schedule needs epochs >= 1 (got %d)", spec.Epochs)
+	}
+	if spec.Job.Journal != "" || spec.Job.Resume {
+		return nil, fmt.Errorf("schedule job must not set journal/resume: epoch journals are derived from the schedule ID")
+	}
+	switch spec.Job.Experiment {
+	case "table1", "responsiveness":
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (want table1)", spec.Job.Experiment)
+	}
+	if _, err := spec.Job.config(); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	ts := s.tenant(tenant)
+	if err := ts.admit(s.cfg, true); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.nextSched++
+	sc := &Schedule{
+		ID:     fmt.Sprintf("sched-%d", s.nextSched),
+		Tenant: tenant,
+		Spec:   spec,
+		state:  SchedActive,
+		Index:  &results.EpochIndex{},
+	}
+	s.schedules[sc.ID] = sc
+	s.schedIDs = append(s.schedIDs, sc.ID)
+	s.mu.Unlock()
+
+	s.persistSchedule(sc)
+	s.fireEpoch(sc)
+	return sc, nil
+}
+
+// Schedule returns a registered schedule by ID.
+func (s *Server) Schedule(id string) *Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.schedules[id]
+}
+
+// Schedules returns all schedules in creation order.
+func (s *Server) Schedules() []*Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Schedule, 0, len(s.schedIDs))
+	for _, id := range s.schedIDs {
+		out = append(out, s.schedules[id])
+	}
+	return out
+}
+
+// CancelSchedule stops a schedule: no further epochs fire, and the
+// in-flight epoch job (if any) is canceled. Terminal schedules are
+// left as they are.
+func (s *Server) CancelSchedule(id string) (*Schedule, bool) {
+	s.mu.Lock()
+	sc := s.schedules[id]
+	if sc == nil {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if sc.state != SchedActive {
+		s.mu.Unlock()
+		return sc, true
+	}
+	sc.state = SchedCanceled
+	current := sc.currentJob
+	s.mu.Unlock()
+	if current != "" {
+		s.Cancel(current)
+	}
+	s.persistSchedule(sc)
+	return sc, false
+}
+
+// epochSpec derives epoch e's job spec from the schedule's base: a
+// fresh shuffle seed (splitmix over the base seed and e), the churn
+// clock pinned to e, and the epoch's own journal under DataDir.
+// Everything that keys the plane cache is untouched, by construction.
+func (sc *Schedule) epochSpec(dataDir string, e int) JobSpec {
+	spec := sc.Spec.Job
+	spec.ShuffleSeed = study.EpochSeed(sc.Spec.Job.ShuffleSeed, e)
+	spec.FaultEpoch = e
+	spec.Journal = filepath.Join(dataDir, fmt.Sprintf("%s-e%d.jsonl", sc.ID, e))
+	spec.Resume = true // the epoch's journal survives kills; completed batches archive
+	return spec
+}
+
+// fireEpoch submits the schedule's next epoch job. Refusals that mean
+// "later" (queue full, tenant quota) arm a retry timer; draining means
+// the epoch fires on the next start (the schedule record has the
+// cursor); anything else fails the schedule.
+func (s *Server) fireEpoch(sc *Schedule) {
+	s.mu.Lock()
+	if sc.state != SchedActive || sc.currentJob != "" {
+		s.mu.Unlock()
+		return
+	}
+	e := sc.nextEpoch
+	spec := sc.epochSpec(s.cfg.DataDir, e)
+	s.mu.Unlock()
+
+	job, err := s.submit(sc.Tenant, spec, false, func(j *Job) { s.epochDone(sc, e, j) })
+	switch {
+	case err == nil:
+		s.mu.Lock()
+		// The job can finalize — and epochDone clear the slot — before
+		// submit returns; only record it as current while its epoch is
+		// still the cursor.
+		if sc.state == SchedActive && sc.nextEpoch == e {
+			sc.currentJob = job.ID
+		}
+		s.mu.Unlock()
+	case err == errDraining:
+		// Resume at next start: loadSchedules fires the cursor epoch.
+	case err == errQueueFull || asQuotaError(err) != nil:
+		time.AfterFunc(s.cfg.retryBackoff(), func() { s.fireEpoch(sc) })
+	default:
+		s.mu.Lock()
+		sc.state = SchedFailed
+		sc.errMsg = fmt.Sprintf("epoch %d submit: %v", e, err)
+		s.mu.Unlock()
+		s.persistSchedule(sc)
+	}
+}
+
+// epochDone is the terminal hook of an epoch job: record the epoch's
+// reachable set, advance the cursor, checkpoint, and fire the next
+// epoch (or finish). Runs outside all locks.
+func (s *Server) epochDone(sc *Schedule, e int, job *Job) {
+	job.mu.Lock()
+	state, errMsg := job.state, job.err
+	reachable := job.reachable
+	job.mu.Unlock()
+
+	s.mu.Lock()
+	sc.currentJob = ""
+	switch {
+	case sc.state != SchedActive:
+		// Canceled (or failed) while the epoch ran; keep the record as is.
+	case state == StateDone:
+		sc.Index.Add(e, reachable)
+		if sc.nextEpoch == e {
+			sc.nextEpoch = e + 1
+		}
+		if sc.nextEpoch >= sc.Spec.Epochs {
+			sc.state = SchedDone
+		}
+	case state == StateCanceled:
+		sc.state = SchedCanceled
+		sc.errMsg = fmt.Sprintf("epoch %d canceled: %s", e, errMsg)
+	default:
+		sc.state = SchedFailed
+		sc.errMsg = fmt.Sprintf("epoch %d failed: %s", e, errMsg)
+	}
+	active := sc.state == SchedActive
+	s.mu.Unlock()
+
+	s.persistSchedule(sc)
+	if active {
+		s.fireEpoch(sc)
+	}
+}
+
+// persistSchedule checkpoints the schedule record to
+// DataDir/<id>.json, atomically (write-temp, rename): a kill between
+// epochs or mid-write leaves either the previous checkpoint or the new
+// one, never a torn file.
+func (s *Server) persistSchedule(sc *Schedule) {
+	s.mu.Lock()
+	rec := schedRecord{ID: sc.ID, Tenant: sc.Tenant, Spec: sc.Spec,
+		State: sc.state, NextEpoch: sc.nextEpoch, Error: sc.errMsg, Index: sc.Index}
+	data, err := json.Marshal(rec)
+	s.mu.Unlock()
+	if err != nil {
+		return
+	}
+	path := filepath.Join(s.cfg.DataDir, sc.ID+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, path)
+}
+
+// loadSchedules restores persisted schedules at startup and fires the
+// cursor epoch of every active one — the resume half of the schedule
+// lifecycle. A mid-epoch kill left that epoch's journal with its
+// completed batches; the refired epoch job resumes from it.
+func (s *Server) loadSchedules() error {
+	paths, err := filepath.Glob(filepath.Join(s.cfg.DataDir, "sched-*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	var resumed []*Schedule
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("schedule restore %s: %w", path, err)
+		}
+		var rec schedRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("schedule restore %s: %w", path, err)
+		}
+		if rec.Index == nil {
+			rec.Index = &results.EpochIndex{}
+		}
+		sc := &Schedule{ID: rec.ID, Tenant: rec.Tenant, Spec: rec.Spec,
+			state: rec.State, nextEpoch: rec.NextEpoch, errMsg: rec.Error,
+			Index: rec.Index}
+		n, ok := schedNum(rec.ID)
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		s.schedules[sc.ID] = sc
+		s.schedIDs = append(s.schedIDs, sc.ID)
+		if n > s.nextSched {
+			s.nextSched = n
+		}
+		// A restored active tenant holds no token: it paid at creation,
+		// in the previous process life.
+		s.tenant(sc.Tenant)
+		active := sc.state == SchedActive
+		s.mu.Unlock()
+		if active {
+			resumed = append(resumed, sc)
+		}
+	}
+	s.mu.Lock()
+	sort.Slice(s.schedIDs, func(i, j int) bool {
+		a, _ := schedNum(s.schedIDs[i])
+		b, _ := schedNum(s.schedIDs[j])
+		return a < b
+	})
+	s.mu.Unlock()
+	for _, sc := range resumed {
+		s.fireEpoch(sc)
+	}
+	return nil
+}
+
+func schedNum(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "sched-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}

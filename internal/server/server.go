@@ -7,13 +7,16 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/netip"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"recordroute/internal/measure"
+	"recordroute/internal/netsim"
 	"recordroute/internal/obs"
 	"recordroute/internal/probe"
 	"recordroute/internal/results"
@@ -66,6 +69,19 @@ type Config struct {
 	// pinning the handler (and the job buffers it retains) forever.
 	// 0 means 30s; negative disables.
 	StreamWriteTimeout time.Duration
+
+	// TenantQuota caps each tenant's in-flight jobs (queued + running,
+	// schedule epochs included); submissions beyond it get 429 with
+	// Retry-After — per-tenant QoS, distinct from the global 503
+	// backpressure. 0 means unlimited.
+	TenantQuota int
+	// TenantRate/TenantBurst add token-bucket admission per tenant:
+	// each accepted submission costs one token, refilled at TenantRate
+	// per second up to TenantBurst (default: the rate, min 1). A zero
+	// rate disables the bucket. Internal schedule epochs are exempt —
+	// the schedule paid its token at creation.
+	TenantRate  float64
+	TenantBurst float64
 }
 
 func (c Config) maxRetries() int {
@@ -121,16 +137,28 @@ type JobSpec struct {
 	// responsiveness study) is the one the service runs.
 	Experiment string `json:"experiment"`
 	// Scale multiplies the default topology sizing (1.0 ≈ 1/100 of the
-	// paper's probing volume).
+	// paper's probing volume). Mutually exclusive with Profile.
 	Scale float64 `json:"scale,omitempty"`
+	// Profile selects a named topology size (small|medium|large)
+	// instead of a numeric Scale.
+	Profile string `json:"profile,omitempty"`
 	// Seed overrides the world seed (0 = built-in default).
 	Seed uint64 `json:"seed,omitempty"`
 	// Epoch is 2016 (default) or 2011.
 	Epoch int `json:"epoch,omitempty"`
+	// Faults installs a deterministic fault plan over the topology
+	// (chaos weather, long-horizon churn). Part of the plane-cache key:
+	// jobs with different fault plans never share a plane.
+	Faults *netsim.FaultConfig `json:"faults,omitempty"`
 	// Shards, Rate, ShuffleSeed mirror study.Options.
 	Shards      int     `json:"shards,omitempty"`
 	Rate        float64 `json:"rate,omitempty"`
 	ShuffleSeed uint64  `json:"shuffle_seed,omitempty"`
+	// FaultEpoch pins the churn clock (study.Options.FaultEpoch): the
+	// schedule's virtual-epoch cadence sets it per epoch. Deliberately
+	// outside the topology config, so every epoch of a schedule keys
+	// the same cached plane.
+	FaultEpoch int `json:"fault_epoch,omitempty"`
 	// Journal overrides the journal path (default: DataDir/<job>.jsonl);
 	// with Resume set, completed batches found there are skipped and
 	// the run picks up where the journal stops.
@@ -153,12 +181,26 @@ func (sp JobSpec) config() (topology.Config, error) {
 	if sp.Scale < 0 || sp.Scale > 100 {
 		return topology.Config{}, fmt.Errorf("scale %v out of range (0, 100]", sp.Scale)
 	}
+	if sp.Profile != "" {
+		if sp.Scale != 0 {
+			return topology.Config{}, fmt.Errorf("profile %q and scale %v are mutually exclusive", sp.Profile, sp.Scale)
+		}
+		pcfg, err := topology.ProfileConfig(epoch, topology.ScaleProfile(sp.Profile))
+		if err != nil {
+			return topology.Config{}, err
+		}
+		cfg = pcfg
+	}
 	if sp.Scale > 0 && sp.Scale != 1 {
 		cfg = cfg.Scale(sp.Scale)
 	}
 	if sp.Seed != 0 {
 		cfg.Seed = sp.Seed
 	}
+	// The fault plan is plane state (it edits routing weather at build
+	// time), so it rides in the Config — and therefore in the digest
+	// that keys the frozen-plane cache.
+	cfg.Faults = sp.Faults
 	return cfg, nil
 }
 
@@ -207,6 +249,17 @@ type Job struct {
 	// server can refuse a second job writing the same file. It stays
 	// reserved across retries and is released when the job finalizes.
 	journal string
+	// tenant is the submitting tenant ("default" when anonymous); its
+	// quota slot is released when the job finalizes.
+	tenant string
+	// digest is the topology digest resolved at submit time — the
+	// plane-cache key, reused by runOnce; preferred is the worker it
+	// hashes to (dispatcher affinity).
+	digest    string
+	preferred int
+	// onTerminal, when set (schedules), runs exactly once after the job
+	// finalizes, outside all locks. Set before submit, never mutated.
+	onTerminal func(*Job)
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -220,7 +273,8 @@ type Job struct {
 	total     int // batch checkpoints the campaign will complete, once known
 	stream    []byte
 	render    []byte
-	finalized bool // terminal bookkeeping (journal release, eviction) ran
+	reachable []netip.Addr // the campaign's RR-reachable set (schedule epoch diffs)
+	finalized bool         // terminal bookkeeping (journal release, eviction) ran
 
 	cancelRequested bool               // DELETE arrived; honored at the next checkpoint
 	cancelRun       context.CancelFunc // cancels the in-flight attempt; nil between attempts
@@ -265,20 +319,26 @@ type Server struct {
 	// frozen-plane cache miss (build + snapshot wall-clock).
 	buildSeconds *obs.PromHistogram
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string          // submission order, for /metrics
-	journals map[string]string // reserved journal path -> job ID
-	nextID   int
-	draining bool
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string          // submission order, for /metrics
+	journals  map[string]string // reserved journal path -> job ID
+	tenants   map[string]*tenantState
+	schedules map[string]*Schedule
+	schedIDs  []string // creation order, for /schedules and /metrics
+	nextID    int
+	nextSched int
+	draining  bool
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	dispatch *dispatcher
+	wg       sync.WaitGroup
 
-	retriedTotal  atomic.Int64 // attempts re-queued after a retryable failure
-	canceledTotal atomic.Int64 // jobs finalized by DELETE /jobs/{id}
-	degradedTotal atomic.Int64 // jobs whose journal degraded (write errors swallowed)
-	streamDropped atomic.Int64 // /stream clients disconnected by the write deadline
+	retriedTotal   atomic.Int64 // attempts re-queued after a retryable failure
+	canceledTotal  atomic.Int64 // jobs finalized by DELETE /jobs/{id}
+	degradedTotal  atomic.Int64 // jobs whose journal degraded (write errors swallowed)
+	streamDropped  atomic.Int64 // /stream clients disconnected by the write deadline
+	affinityHits   atomic.Int64 // jobs executed by their plane-affinity worker
+	affinityMisses atomic.Int64 // jobs executed via work stealing
 
 	// startHook, when set (tests), runs at the top of each job
 	// execution — a seam for making workers dwell deterministically, or
@@ -310,11 +370,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		cache:    newPlaneCache(cfg.CacheCap),
-		jobs:     make(map[string]*Job),
-		journals: make(map[string]string),
-		queue:    make(chan *Job, cfg.QueueCap),
+		cfg:       cfg,
+		cache:     newPlaneCache(cfg.CacheCap),
+		jobs:      make(map[string]*Job),
+		journals:  make(map[string]string),
+		tenants:   make(map[string]*tenantState),
+		schedules: make(map[string]*Schedule),
+		dispatch:  newDispatcher(cfg.Workers, cfg.QueueCap),
 		// Bounds straddle the profiles the service actually builds:
 		// small smoke planes land in the millisecond buckets, full-scale
 		// plane builds in the seconds range.
@@ -323,7 +385,10 @@ func New(cfg Config) (*Server, error) {
 	s.cache.onBuild = s.buildSeconds.Observe
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i)
+	}
+	if err := s.loadSchedules(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -367,30 +432,53 @@ func (s *Server) Drain() {
 			s.finalize(job, StateFailed, jobClass(job), jobErr(job)+" (retry abandoned: service draining; journal keeps completed batches)")
 		}
 	}
-	close(s.queue)
+	s.dispatch.close()
 	s.wg.Wait()
 }
 
 func jobClass(j *Job) string { j.mu.Lock(); defer j.mu.Unlock(); return j.class }
 func jobErr(j *Job) string   { j.mu.Lock(); defer j.mu.Unlock(); return j.err }
 
-// Submit enqueues a job, refusing with an error when the service is
-// draining, the queue is full, or the job's journal is already in use
-// by a queued/running job.
-func (s *Server) Submit(spec JobSpec) (*Job, error) {
+// Submit enqueues a job for the anonymous tenant, refusing with an
+// error when the service is draining, the queue is full, or the job's
+// journal is already in use by a queued/running job.
+func (s *Server) Submit(spec JobSpec) (*Job, error) { return s.SubmitAs("", spec) }
+
+// SubmitAs is Submit on behalf of a named tenant ("" means "default"):
+// the submission passes the tenant's quota and token-bucket admission
+// before the global queue, so one tenant flooding the service gets 429s
+// while the others' jobs still run.
+func (s *Server) SubmitAs(tenant string, spec JobSpec) (*Job, error) {
+	return s.submit(tenant, spec, true, nil)
+}
+
+// submit is the shared submission path. metered submissions pay the
+// tenant token bucket; schedule epochs (metered=false) only hold a
+// quota slot — the schedule paid its token at creation. onTerminal, if
+// set, fires once when the job finalizes.
+func (s *Server) submit(tenant string, spec JobSpec, metered bool, onTerminal func(*Job)) (*Job, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
 	switch spec.Experiment {
 	case "table1", "responsiveness":
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (want table1)", spec.Experiment)
 	}
-	if _, err := spec.config(); err != nil {
+	cfg, err := spec.config()
+	if err != nil {
 		return nil, err
 	}
+	digest := cfg.Digest()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil, errDraining
+	}
+	ts := s.tenant(tenant)
+	if err := ts.admit(s.cfg, metered); err != nil {
+		return nil, err
 	}
 	id := fmt.Sprintf("job-%d", s.nextID+1)
 	path := spec.Journal
@@ -400,18 +488,20 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if owner, busy := s.journals[path]; busy {
 		return nil, fmt.Errorf("journal %s is in use by %s", path, owner)
 	}
-	job := &Job{ID: id, Spec: spec, journal: path, state: StateQueued}
+	job := &Job{ID: id, Spec: spec, journal: path, tenant: tenant,
+		digest: digest, preferred: s.dispatch.preferredWorker(digest),
+		onTerminal: onTerminal, state: StateQueued}
 	job.cond = sync.NewCond(&job.mu)
-	// The non-blocking send happens under s.mu, for two reasons: it is
-	// ordered against Drain (which flips draining under s.mu before
-	// closing the queue, so we can never send on a closed channel), and
-	// the job is registered only after the queue accepts it, so a full
-	// queue needs no rollback that could race with other submissions.
-	select {
-	case s.queue <- job:
-	default:
-		return nil, errQueueFull
+	// The push happens under s.mu, for two reasons: it is ordered
+	// against Drain (which flips draining under s.mu before closing the
+	// dispatcher, so a push can never land after close), and the job is
+	// registered only after the dispatcher accepts it, so a full queue
+	// needs no rollback that could race with other submissions.
+	if err := s.dispatch.push(job); err != nil {
+		ts.refund(s.cfg, metered)
+		return nil, err
 	}
+	ts.active++
 	s.nextID++
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
@@ -432,7 +522,7 @@ func (s *Server) Job(id string) *Job {
 }
 
 // QueueDepth returns the number of jobs accepted but not yet running.
-func (s *Server) QueueDepth() int { return len(s.queue) }
+func (s *Server) QueueDepth() int { return s.dispatch.queued() }
 
 // Cancel requests cancellation of a job. A queued or backoff-waiting
 // job finalizes as canceled without (further) execution; a running job
@@ -477,9 +567,22 @@ func (j *Job) terminal() bool {
 	return terminalState(j.state)
 }
 
-func (s *Server) worker() {
+func (s *Server) worker(i int) {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for {
+		job, _ := s.dispatch.pop(i)
+		if job == nil {
+			return
+		}
+		// Affinity accounting: a job executed by the worker its plane
+		// digest hashes to will find (or leave) that plane hot in the
+		// shared cache and keep the epoch cadence of a schedule landing
+		// on one goroutine; a steal is a miss.
+		if i == job.preferred {
+			s.affinityHits.Add(1)
+		} else {
+			s.affinityMisses.Add(1)
+		}
 		s.execute(job)
 	}
 }
@@ -510,8 +613,10 @@ func (s *Server) execute(job *Job) {
 }
 
 // finalize settles a job's terminal state exactly once: state/class/
-// error recorded, waiters woken, the journal path released for new
-// submissions, and old terminal jobs evicted.
+// error recorded, any armed retry timer disarmed (a late requeue of a
+// finalized job would resurrect it as an unevictable ghost), waiters
+// woken, the journal path released and the tenant's quota slot freed,
+// old terminal jobs evicted, and the terminal hook fired.
 func (s *Server) finalize(job *Job, state, class, msg string) {
 	job.mu.Lock()
 	if job.finalized {
@@ -522,12 +627,23 @@ func (s *Server) finalize(job *Job, state, class, msg string) {
 	job.state = state
 	job.class = class
 	job.err = msg
+	timer := job.retryTimer
+	job.retryTimer = nil
 	job.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
 	job.cond.Broadcast()
 	s.mu.Lock()
 	delete(s.journals, job.journal)
+	if ts := s.tenants[job.tenant]; ts != nil && ts.active > 0 {
+		ts.active--
+	}
 	s.mu.Unlock()
 	s.evictTerminal()
+	if job.onTerminal != nil {
+		job.onTerminal(job)
+	}
 }
 
 func (s *Server) finalizeCanceled(job *Job, msg string) {
@@ -577,18 +693,25 @@ func (s *Server) requeue(job *Job) {
 		s.finalize(job, StateFailed, jobClass(job), jobErr(job)+" (retry abandoned: service draining; journal keeps completed batches)")
 		return
 	}
-	select {
-	case s.queue <- job:
-		s.mu.Unlock()
-		job.setState(StateQueued)
-	default:
-		// Queue full: wait out another backoff round rather than block
-		// a goroutine on the channel.
+	// The state flips to queued BEFORE the dispatcher push: once the
+	// dispatcher holds the job, a worker can pop and run it immediately
+	// (or even finish it), and a setState after the push would stomp
+	// running/terminal state — a finalized job stuck looking "queued" is
+	// never evicted and haunts /metrics forever.
+	job.setState(StateQueued)
+	if err := s.dispatch.push(job); err != nil {
+		// Queue full: back out to retrying and wait another backoff
+		// round rather than block a goroutine. Nobody holds the job (the
+		// push failed), so the state transition is ours alone.
 		job.mu.Lock()
-		job.retryTimer = time.AfterFunc(s.cfg.retryBackoff(), func() { s.requeue(job) })
+		if !job.finalized {
+			job.state = StateRetrying
+			job.retryTimer = time.AfterFunc(s.cfg.retryBackoff(), func() { s.requeue(job) })
+		}
 		job.mu.Unlock()
-		s.mu.Unlock()
+		job.cond.Broadcast()
 	}
+	s.mu.Unlock()
 }
 
 // attemptOutcome is runOnce's verdict on one execution attempt.
@@ -666,6 +789,7 @@ func (s *Server) runOnce(job *Job) (out attemptOutcome) {
 		Rate:        job.Spec.Rate,
 		ShuffleSeed: job.Spec.ShuffleSeed,
 		Shards:      job.Spec.Shards,
+		FaultEpoch:  job.Spec.FaultEpoch,
 	})
 	if err != nil {
 		return failure(ClassSpec, "%v", err)
@@ -728,6 +852,10 @@ func (s *Server) runOnce(job *Job) (out attemptOutcome) {
 	resp.Render(&render)
 	job.mu.Lock()
 	job.render = render.Bytes()
+	// The RR-reachable set is the epoch observation a schedule's
+	// time-series index diffs; captured here so the terminal hook reads
+	// settled data.
+	job.reachable = resp.RRResponsive()
 	job.mu.Unlock()
 	return attemptOutcome{ok: true}
 }
@@ -756,8 +884,15 @@ func (s *Server) markDegraded(job *Job, err error) {
 	}
 }
 
+// setState transitions a non-finalized job; on a finalized job it is a
+// no-op — terminal states are settled exactly once by finalize, and no
+// late transition may resurrect an evicted job.
 func (j *Job) setState(st string) {
 	j.mu.Lock()
+	if j.finalized {
+		j.mu.Unlock()
+		return
+	}
 	j.state = st
 	j.mu.Unlock()
 	j.cond.Broadcast()
@@ -793,14 +928,23 @@ func (s *Server) evictTerminal() {
 
 // Handler returns the service's HTTP surface:
 //
-//	POST   /jobs                submit a JobSpec, 202 {"id": ...} or 503
+//	POST   /jobs                submit a JobSpec, 202 {"id": ...}; 503 full, 429 over tenant budget
 //	GET    /jobs/{id}           status JSON
 //	DELETE /jobs/{id}           cancel (202; 409 if already terminal)
 //	GET    /jobs/{id}/stream    live JSONL result stream (follows until done)
 //	GET    /jobs/{id}/render    the finished table (404 until done)
+//	POST   /schedules           create a recurring campaign, 202 {"id": ...}
+//	GET    /schedules           list schedule statuses
+//	GET    /schedules/{id}      schedule status JSON
+//	DELETE /schedules/{id}      cancel (202; 409 if already terminal)
+//	GET    /schedules/{id}/diff epoch-over-epoch reachability churn table
 //	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness (process is up)
 //	GET    /readyz              readiness (accepting jobs; 503 while draining)
+//
+// Every submission endpoint honors the X-Tenant header ("default" when
+// absent): a tenant over its quota or token budget gets 429 with
+// Retry-After, while the shared-queue-full refusal stays 503.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -808,6 +952,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /jobs/{id}/render", s.handleRender)
+	mux.HandleFunc("POST /schedules", s.handleScheduleCreate)
+	mux.HandleFunc("GET /schedules", s.handleScheduleList)
+	mux.HandleFunc("GET /schedules/{id}", s.handleScheduleStatus)
+	mux.HandleFunc("DELETE /schedules/{id}", s.handleScheduleCancel)
+	mux.HandleFunc("GET /schedules/{id}/diff", s.handleScheduleDiff)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -827,24 +976,103 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// writeSubmitErr maps a submission refusal onto its HTTP status: 429
+// for a tenant over its own budget (with its Retry-After hint), 503
+// for the shared service being full or draining, 400 for a bad spec.
+// It reports whether err was non-nil (and therefore written).
+func writeSubmitErr(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case asQuotaError(err) != nil:
+		qe := asQuotaError(err)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(qe.retryAfter.Seconds()+0.999)))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case err == errQueueFull, err == errDraining:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+	return true
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		http.Error(w, fmt.Sprintf("bad job spec: %v", err), http.StatusBadRequest)
 		return
 	}
-	job, err := s.Submit(spec)
-	switch {
-	case err == errQueueFull, err == errDraining:
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	job, err := s.SubmitAs(r.Header.Get("X-Tenant"), spec)
+	if writeSubmitErr(w, err) {
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]string{"id": job.ID})
+}
+
+func (s *Server) handleScheduleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec ScheduleSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf("bad schedule spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	sc, err := s.CreateSchedule(r.Header.Get("X-Tenant"), spec)
+	if writeSubmitErr(w, err) {
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": sc.ID})
+}
+
+func (s *Server) handleScheduleList(w http.ResponseWriter, _ *http.Request) {
+	var out []ScheduleStatus
+	for _, sc := range s.Schedules() {
+		out = append(out, s.scheduleStatus(sc))
+	}
+	if out == nil {
+		out = []ScheduleStatus{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleScheduleStatus(w http.ResponseWriter, r *http.Request) {
+	sc := s.Schedule(r.PathValue("id"))
+	if sc == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.scheduleStatus(sc))
+}
+
+func (s *Server) handleScheduleCancel(w http.ResponseWriter, r *http.Request) {
+	sc, terminal := s.CancelSchedule(r.PathValue("id"))
+	if sc == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if terminal {
+		w.WriteHeader(http.StatusConflict)
+	} else {
+		w.WriteHeader(http.StatusAccepted)
+	}
+	json.NewEncoder(w).Encode(s.scheduleStatus(sc))
+}
+
+// handleScheduleDiff renders the schedule's epoch-over-epoch
+// reachability churn table — the time-series view of what the network
+// weather gained and lost between consecutive virtual epochs.
+func (s *Server) handleScheduleDiff(w http.ResponseWriter, r *http.Request) {
+	sc := s.Schedule(r.PathValue("id"))
+	if sc == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	sc.Index.RenderTable(w)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -969,12 +1197,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		totals = append(totals, obs.PromSample{
 			Labels: map[string]string{"job": st.ID}, Value: float64(st.Total)})
 	}
+	var tenantNames []string
+	for name := range s.tenants {
+		tenantNames = append(tenantNames, name)
+	}
+	sort.Strings(tenantNames)
+	var tenantActive, tenantAdmitted, tenantRejected []obs.PromSample
+	for _, name := range tenantNames {
+		ts := s.tenants[name]
+		lbl := map[string]string{"tenant": name}
+		tenantActive = append(tenantActive, obs.PromSample{Labels: lbl, Value: float64(ts.active)})
+		tenantAdmitted = append(tenantAdmitted, obs.PromSample{Labels: lbl, Value: float64(ts.admitted)})
+		tenantRejected = append(tenantRejected, obs.PromSample{Labels: lbl, Value: float64(ts.rejected)})
+	}
+	schedStates := make(map[string]float64)
+	for _, id := range s.schedIDs {
+		schedStates[s.schedules[id].state]++
+	}
 	s.mu.Unlock()
 
 	var stateSamples []obs.PromSample
 	for _, st := range []string{StateQueued, StateRunning, StateRetrying, StateDone, StateFailed, StateCanceled} {
 		stateSamples = append(stateSamples, obs.PromSample{
 			Labels: map[string]string{"state": st}, Value: states[st]})
+	}
+	var schedSamples []obs.PromSample
+	for _, st := range []string{SchedActive, SchedDone, SchedFailed, SchedCanceled} {
+		schedSamples = append(schedSamples, obs.PromSample{
+			Labels: map[string]string{"state": st}, Value: schedStates[st]})
 	}
 
 	fams := []obs.PromFamily{
@@ -991,6 +1241,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Samples: []obs.PromSample{{Value: float64(s.degradedTotal.Load())}}},
 		{Name: "rrstudyd_stream_clients_dropped_total", Help: "/stream clients disconnected by the write deadline", Type: "counter",
 			Samples: []obs.PromSample{{Value: float64(s.streamDropped.Load())}}},
+		{Name: "rrstudyd_affinity_hits_total", Help: "jobs executed by their plane-affinity worker", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(s.affinityHits.Load())}}},
+		{Name: "rrstudyd_affinity_misses_total", Help: "jobs executed via work stealing off their affinity worker", Type: "counter",
+			Samples: []obs.PromSample{{Value: float64(s.affinityMisses.Load())}}},
+		{Name: "rrstudyd_schedules", Help: "recurring campaigns by state", Type: "gauge", Samples: schedSamples},
+		{Name: "rrstudyd_tenant_active_jobs", Help: "in-flight jobs per tenant (queued + running)", Type: "gauge",
+			Samples: tenantActive},
+		{Name: "rrstudyd_tenant_admitted_total", Help: "submissions accepted per tenant", Type: "counter",
+			Samples: tenantAdmitted},
+		{Name: "rrstudyd_tenant_rejected_total", Help: "submissions refused per tenant by quota or token bucket (429s)", Type: "counter",
+			Samples: tenantRejected},
 		{Name: "rrstudyd_cache_hits_total", Help: "frozen-plane cache hits", Type: "counter",
 			Samples: []obs.PromSample{{Value: float64(hits)}}},
 		{Name: "rrstudyd_cache_misses_total", Help: "frozen-plane cache misses", Type: "counter",

@@ -1,0 +1,93 @@
+package study
+
+import (
+	"bytes"
+	"testing"
+
+	"recordroute/internal/topology"
+)
+
+func epochsLiveConfig() topology.Config {
+	return topology.DefaultConfig(topology.Epoch2016).Scale(0.25)
+}
+
+// TestEpochsLiveShardInvariance extends the determinism contract
+// (DESIGN.md §6) to the virtual-epoch cadence: the same 3-epoch
+// churn series rendered at shard widths 1, 2, and 4 must come out
+// byte-identical — churn is a pure function of (seed, epoch), never of
+// execution interleaving.
+func TestEpochsLiveShardInvariance(t *testing.T) {
+	var renders [][]byte
+	for _, shards := range []int{1, 2, 4} {
+		el, err := RunEpochsLive(epochsLiveConfig(),
+			Options{Rate: 200, ShuffleSeed: 7, Shards: shards}, 3)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var buf bytes.Buffer
+		el.Render(&buf)
+		renders = append(renders, buf.Bytes())
+	}
+	for i := 1; i < len(renders); i++ {
+		if !bytes.Equal(renders[0], renders[i]) {
+			t.Errorf("epochs-live render differs across shard widths:\n--- shards=1 ---\n%s--- other ---\n%s",
+				renders[0], renders[i])
+		}
+	}
+}
+
+// TestEpochsLiveChurnMovesReachability: with the default churn plan,
+// consecutive epochs must actually gain and lose destinations — and
+// with churn disabled, they must not. The pair proves the per-epoch
+// reachability differences come from the churn clock, not from any
+// nondeterminism in the probing itself.
+func TestEpochsLiveChurn(t *testing.T) {
+	el, err := RunEpochsLive(epochsLiveConfig(), Options{Rate: 200, ShuffleSeed: 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Faults.ChurnedPfxs == 0 {
+		t.Fatal("default churn plan afflicted no prefixes")
+	}
+	moved := false
+	for _, d := range el.Index.Diffs() {
+		if len(d.Gained) > 0 || len(d.Lost) > 0 {
+			moved = true
+		}
+		if d.Stable == 0 {
+			t.Errorf("epoch %d->%d has no stable core; churn should be partial", d.From, d.To)
+		}
+	}
+	if !moved {
+		t.Error("3 epochs under churn show zero reachability movement")
+	}
+
+	// Churn off: every epoch sees the identical world; only the shuffle
+	// seed differs, which must not change the reachable set.
+	cfg := epochsLiveConfig()
+	cfg.Faults = DefaultChurnFaults(cfg.Seed)
+	cfg.Faults.ChurnProb = 0
+	still, err := RunEpochsLive(cfg, Options{Rate: 200, ShuffleSeed: 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range still.Index.Diffs() {
+		if len(d.Gained) != 0 || len(d.Lost) != 0 {
+			t.Errorf("churn-free epochs %d->%d moved: +%d -%d", d.From, d.To, len(d.Gained), len(d.Lost))
+		}
+	}
+}
+
+// TestGoldenEpochsLive pins the epochs-live render byte-for-byte at
+// the standard golden scale and seeds — the single-process twin of the
+// daemon's schedule path, so a diff here means the scheduler's epoch
+// derivation changed.
+func TestGoldenEpochsLive(t *testing.T) {
+	el, err := RunEpochsLive(epochsLiveConfig(), Options{Rate: 200, ShuffleSeed: 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	el.Render(&buf)
+	compareGolden(t, "epochs_live", buf.Bytes())
+}

@@ -60,6 +60,13 @@ type Options struct {
 	// with a named profile's (topology.ProfileConfig) while keeping its
 	// Seed, Epoch, and Faults. Empty means: use the Config as given.
 	Scale topology.ScaleProfile
+	// FaultEpoch pins the long-horizon churn clock
+	// (netsim.SetFaultEpoch) for the whole run: epoch-churned prefixes
+	// (FaultConfig.ChurnProb) are present or withdrawn as a pure
+	// function of this value. Deliberately NOT part of the topology
+	// config — the frozen route plane is epoch-invariant, so recurring
+	// campaigns hit the same plane cache entry every epoch.
+	FaultEpoch int
 }
 
 func (o Options) rate() float64 {
@@ -140,6 +147,9 @@ func NewFromTopology(topo *topology.Topology, opts Options) (*Study, error) {
 		Data: dataset.FromTopology(topo),
 		Opts: opts,
 	}
+	// The epoch is overlay state on this study's private network; shard
+	// replicas cloned from it (Fleet) inherit the same epoch.
+	topo.Net.SetFaultEpoch(opts.FaultEpoch)
 	s.Camp = measure.NewCampaign(topo, topo.VPs)
 	s.CloudCamp = measure.NewCampaign(topo, topo.CloudVPs)
 	for _, vp := range topo.VPs {
@@ -220,6 +230,7 @@ func (s *Study) AttachJournal(path string, resume bool) (*measure.Journal, error
 		ShuffleSeed: s.Opts.ShuffleSeed,
 		Retries:     s.Opts.Retries,
 		Adaptive:    s.Opts.Adaptive,
+		FaultEpoch:  s.Opts.FaultEpoch,
 	}
 	var (
 		j   *measure.Journal
@@ -243,6 +254,23 @@ func (s *Study) CloseJournal() error {
 		return nil
 	}
 	return s.journal.Close()
+}
+
+// EpochSeed derives the per-epoch shuffle seed of a recurring campaign
+// from its base seed: a splitmix-style hash of (base, epoch), so each
+// epoch probes in a fresh deterministic order while epoch 0 of two
+// schedules with different bases never collide. The topology seed is
+// deliberately not derived per epoch — the route plane (and its digest,
+// hence the service's plane-cache key) must stay constant across epochs
+// so repeat epochs land on an already-built plane.
+func EpochSeed(base uint64, epoch int) uint64 {
+	h := base + uint64(epoch)*0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // MustNew is New for known-good configurations.

@@ -87,6 +87,11 @@ type FaultProfile struct {
 	// their attachment router WithdrawFor out of every WithdrawPeriod.
 	WithdrawFrac                float64
 	WithdrawPeriod, WithdrawFor time.Duration
+	// ChurnFrac of destination prefixes join the long-horizon churn
+	// pool: each pooled prefix is withdrawn for a whole fault epoch
+	// (the recurring-campaign cadence; see EpochsLive) with per-epoch
+	// probability ChurnProb.
+	ChurnFrac, ChurnProb float64
 }
 
 // faultConfig converts the profile to the internal fault config.
@@ -103,6 +108,7 @@ func (p *FaultProfile) faultConfig(seed uint64) *netsim.FaultConfig {
 		OutageFrac: p.OutageFrac, OutageSpread: p.OutageSpread, OutageFor: p.OutageFor,
 		SuppressFrac: p.SuppressFrac, SuppressPeriod: p.SuppressPeriod, SuppressFor: p.SuppressFor,
 		WithdrawFrac: p.WithdrawFrac, WithdrawPeriod: p.WithdrawPeriod, WithdrawFor: p.WithdrawFor,
+		ChurnFrac: p.ChurnFrac, ChurnProb: p.ChurnProb,
 	}
 	if fc.Seed == 0 {
 		fc.Seed = seed
